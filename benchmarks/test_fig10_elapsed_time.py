@@ -1,0 +1,66 @@
+"""Figure 10: elapsed time vs depth, single-proposal Paxos (3 nodes).
+
+Paper result: B-DFS explodes from the very early steps and takes 1514 s to
+finish the space; LMC-GEN finishes in 5.16 s (~300× faster) and LMC-OPT in
+189 ms (~8000× faster).  We assert the *shape*: both LMC variants finish the
+whole space while being at least an order of magnitude faster than B-DFS,
+with OPT faster than GEN.
+"""
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
+from repro.stats.reporting import format_depth_series, format_table
+
+
+def single_proposal_space():
+    return PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),)), PaxosAgreement(0)
+
+
+def test_fig10_elapsed_time_by_depth(single_proposal_runs, report, benchmark):
+    runs = single_proposal_runs
+    benchmark.pedantic(
+        lambda: LocalModelChecker(
+            *single_proposal_space(), config=LMCConfig.optimized()
+        ).run(),
+        rounds=3,
+        iterations=1,
+    )
+    series = [runs["B-DFS"].series, runs["LMC-GEN"].series, runs["LMC-OPT"].series]
+    report(
+        format_depth_series(
+            series,
+            "elapsed_s",
+            "Figure 10 — elapsed seconds at completed depth "
+            "(3-node Paxos, one proposal)",
+        )
+    )
+    totals = [
+        (label, result.series.final().elapsed_s, result.completed)
+        for label, result in runs.items()
+        if label != "LMC-local"
+    ]
+    report(
+        "Totals\n"
+        + format_table(["algorithm", "total elapsed s", "completed"], totals)
+    )
+
+    opt, gen, bdfs = (
+        runs["LMC-OPT"].series.final().elapsed_s,
+        runs["LMC-GEN"].series.final().elapsed_s,
+        runs["B-DFS"].series.final().elapsed_s,
+    )
+    assert runs["LMC-OPT"].completed
+    assert runs["LMC-GEN"].completed
+    assert runs["B-DFS"].completed, "B-DFS must finish this small space"
+    # Shape: OPT < GEN < B-DFS with an order of magnitude between OPT and
+    # B-DFS (the paper reports 3-4 orders; Python narrows the gap but the
+    # ordering and scale separation must survive).
+    assert opt < gen < bdfs
+    assert bdfs > 10 * opt
+
+
+def test_fig10_no_bugs_in_correct_paxos(single_proposal_runs):
+    runs = single_proposal_runs
+    for result in runs.values():
+        assert not result.found_bug

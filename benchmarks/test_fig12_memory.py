@@ -1,0 +1,62 @@
+"""Figure 12: memory consumption vs depth, single-proposal Paxos.
+
+Paper result: B-DFS's memory grows exponentially with depth while every LMC
+configuration stays small (~200 KB total) and grows only linearly — LMC
+retains node states only, and system states are temporary.  Our memory
+metric is deterministic retained-bytes (serialized state sizes plus
+hash-table/predecessor entries), so the curves are reproducible.
+"""
+
+from repro.stats.reporting import format_depth_series, format_table
+
+
+def test_fig12_memory(single_proposal_runs, report):
+    runs = single_proposal_runs
+    report(
+        format_depth_series(
+            [run.series for run in runs.values()],
+            "memory_bytes",
+            "Figure 12 — retained bytes at completed depth",
+        )
+    )
+    finals = {
+        label: run.series.final().get("memory_bytes")
+        for label, run in runs.items()
+    }
+    report(
+        "Figure 12 — final retained bytes\n"
+        + format_table(["configuration", "bytes"], sorted(finals.items()))
+    )
+
+    # Shape: the three LMC configurations are close together ("overlapped in
+    # the figure") while B-DFS retains much more.
+    lmc_values = [
+        finals["LMC-GEN"], finals["LMC-OPT"], finals["LMC-local"]
+    ]
+    assert max(lmc_values) < 2.5 * min(lmc_values)
+    assert finals["B-DFS"] > 2 * max(lmc_values)
+
+
+def test_fig12_bdfs_growth_is_superlinear(single_proposal_runs):
+    runs = single_proposal_runs
+    series = runs["B-DFS"].series
+    memory = series.column("memory_bytes")
+    # High-water-mark curve: growth happens until the space is (nearly)
+    # exhausted; compare the slope of the second half of the growth region
+    # against the first half — an exponential's dwarfs a line's.
+    peak = max(memory)
+    growth_end = next(i for i, m in enumerate(memory) if m >= 0.95 * peak)
+    assert growth_end >= 4, "growth region too short to measure"
+    mid = growth_end // 2
+    head_slope = (memory[mid] - memory[0]) / max(mid, 1)
+    tail_slope = (memory[growth_end] - memory[mid]) / max(growth_end - mid, 1)
+    assert tail_slope > 3 * head_slope
+
+
+def test_fig12_lmc_growth_is_modest(single_proposal_runs):
+    runs = single_proposal_runs
+    series = runs["LMC-OPT"].series
+    memory = series.column("memory_bytes")
+    assert memory[-1] < 64 * 1024 * 1024  # sanity ceiling
+    # Monotone non-decreasing (the checker only accumulates).
+    assert all(a <= b for a, b in zip(memory, memory[1:]))

@@ -1,0 +1,110 @@
+"""Figure 13: LMC overhead decomposition on the buggy Paxos run.
+
+Paper setup: LMC-OPT checks the buggy Paxos from a live state close to the
+violation, in three configurations — full (explore + system states +
+soundness), "LMC-OPT-system-state" (soundness disabled) and "LMC-explore"
+(system-state creation disabled too).  Paper result: the gap between full
+and soundness-disabled (the soundness verification cost) is the major
+contributor; the paper counts 773 soundness invocations.
+
+To let the decomposition run deep enough to be visible, the bench uses
+``stop_on_first_bug=False`` so the full configuration keeps exploring after
+the first confirmed violation, exactly like the measurement run of Fig. 13
+(which reached depth 28).
+"""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.budget import SearchBudget
+from repro.protocols.paxos import PaxosAgreement
+from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
+from repro.stats.reporting import format_table
+
+BUDGET = SearchBudget(max_seconds=120.0)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    live = partial_choice_state()
+    protocol = scenario_protocol(buggy=True)
+    invariant = PaxosAgreement(0)
+    configs = {
+        "LMC-OPT (full)": LMCConfig.optimized(stop_on_first_bug=False),
+        "LMC-OPT-system-state": LMCConfig.optimized(
+            verify_soundness=False, stop_on_first_bug=False
+        ),
+        "LMC-explore": LMCConfig.optimized(
+            create_system_states=False, stop_on_first_bug=False
+        ),
+    }
+    return {
+        label: LocalModelChecker(
+            protocol, invariant, budget=BUDGET, config=config
+        ).run(live)
+        for label, config in configs.items()
+    }
+
+
+def test_fig13_overhead_breakdown(runs, report):
+    rows = []
+    for label, result in runs.items():
+        rows.append(
+            (
+                label,
+                round(result.series.final().elapsed_s, 4),
+                result.stats.system_states_created,
+                result.stats.preliminary_violations,
+                result.stats.soundness_calls,
+                result.stats.soundness_sequences,
+                result.stats.confirmed_bugs,
+            )
+        )
+    report(
+        "Figure 13 — LMC-OPT phase decomposition on buggy Paxos\n"
+        + format_table(
+            [
+                "configuration",
+                "elapsed s",
+                "system states",
+                "prelim viol.",
+                "soundness calls",
+                "sequences",
+                "confirmed",
+            ],
+            rows,
+        )
+        + "\n(paper: 773 soundness invocations, ~45 ms each, 427,731 sequences)"
+    )
+
+    full = runs["LMC-OPT (full)"]
+    no_soundness = runs["LMC-OPT-system-state"]
+    explore_only = runs["LMC-explore"]
+
+    # Phase structure: explore-only does no checking work at all; disabling
+    # soundness removes all soundness calls but keeps the preliminary
+    # violations; the full configuration confirms bugs.
+    assert explore_only.stats.system_states_created == 0
+    assert no_soundness.stats.soundness_calls == 0
+    assert no_soundness.stats.preliminary_violations > 0
+    assert full.stats.soundness_calls > 0
+    assert full.stats.confirmed_bugs > 0
+
+    # Cost ordering of the configurations (the vertical gaps of Fig. 13).
+    t_explore = explore_only.series.final().elapsed_s
+    t_system = no_soundness.series.final().elapsed_s
+    t_full = full.series.final().elapsed_s
+    assert t_explore <= t_system <= t_full
+    # Soundness verification is the major contributor (§5.4).
+    soundness_share = full.stats.phase_seconds.get("soundness", 0.0)
+    explore_share = full.stats.phase_seconds.get("explore", 0.0)
+    assert soundness_share > explore_share
+
+
+def test_fig13_phase_timers_sum_close_to_total(runs):
+    full = runs["LMC-OPT (full)"]
+    total = full.series.final().elapsed_s
+    phases = sum(full.stats.phase_seconds.values())
+    assert phases <= total * 1.1
+    assert phases >= total * 0.5

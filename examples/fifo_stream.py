@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""§4.3: model checking over simulated TCP — FIFO-aware exploration.
+
+A sender streams numbered packets to a receiver.  Over raw datagrams every
+arrival order is a distinct behaviour, so the receiver's state space grows
+with the number of permutations; rejecting out-of-order deliveries the way
+TCP would (the paper's §4.3 suggestion) collapses it to a single chain.
+The demo measures both, and shows an ordering invariant that real datagram
+runs violate while the FIFO transport guarantees it.
+
+Run:  python examples/fifo_stream.py
+"""
+
+from repro import LocalModelChecker
+from repro.invariants.base import PredicateInvariant
+from repro.protocols.fifo_wrapper import FifoStampedProtocol, unwrap_system_state
+from repro.protocols.stream import InOrderDelivery, StreamProtocol
+
+TRUE = PredicateInvariant("true", lambda s: True)
+
+
+def main() -> None:
+    print(__doc__)
+    print(f"{'length':>7} {'raw states':>11} {'fifo states':>12} "
+          f"{'raw transitions':>16} {'fifo transitions':>17}")
+    for length in (3, 4, 5, 6):
+        raw = LocalModelChecker(StreamProtocol(length), TRUE).run()
+        fifo = LocalModelChecker(
+            FifoStampedProtocol(StreamProtocol(length), mode="reject"), TRUE
+        ).run()
+        print(f"{length:>7} {raw.stats.node_states:>11} "
+              f"{fifo.stats.node_states:>12} {raw.stats.transitions:>16} "
+              f"{fifo.stats.transitions:>17}")
+
+    print("\nthe in-order invariant over raw datagrams:")
+    violated = LocalModelChecker(StreamProtocol(3), InOrderDelivery()).run()
+    print(f"  violated: {violated.found_bug}   (reordering is real)")
+    if violated.found_bug:
+        for line in violated.first_bug().trace_lines():
+            print("   ", line)
+
+    print("\nthe same invariant under the FIFO transport:")
+    inv = PredicateInvariant(
+        "in-order+unwrap",
+        lambda s: InOrderDelivery().check(unwrap_system_state(s)),
+    )
+    guarded = LocalModelChecker(
+        FifoStampedProtocol(StreamProtocol(3), mode="reject"), inv
+    ).run()
+    print(f"  violated: {guarded.found_bug}   (TCP-style rejection holds it)")
+
+
+if __name__ == "__main__":
+    main()

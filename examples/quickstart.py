@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: the §2 primer — model checking without the network.
+
+Runs both checkers on the five-node forwarding tree of the paper's Fig. 2
+and prints the numbers behind Figs. 3-4: the global approach enumerates
+every (system state, network state) pair, while the local approach tracks
+node states only and materialises a handful of temporary system states —
+including one *invalid* combination (``----r``: the target received before
+the origin sent) that soundness verification rejects.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GlobalModelChecker, LocalModelChecker
+from repro.protocols.tree import ReceivedImpliesSent, TreeProtocol
+
+
+def main() -> None:
+    # The paper's exact setting: interior nodes forward statelessly, so the
+    # only visible state changes are the origin's "sent" and the target's
+    # "received" — five glyphs, e.g. "s---r".
+    protocol = TreeProtocol(track_forwarding=False)
+    invariant = ReceivedImpliesSent()
+
+    print("== global model checking (B-DFS) ==")
+    global_result = GlobalModelChecker(protocol, invariant).run()
+    print(f"explored global states : {global_result.stats.global_states}")
+    print(f"transitions executed   : {global_result.stats.transitions}")
+    print(f"bugs                   : {len(global_result.bugs)}")
+
+    print("\n== local model checking (LMC) ==")
+    local_result = LocalModelChecker(protocol, invariant).run()
+    print(f"node states tracked    : {local_result.stats.node_states}")
+    print(f"system states created  : {local_result.stats.system_states_created}")
+    print(f"preliminary violations : {local_result.stats.preliminary_violations}")
+    print(f"rejected by soundness  : "
+          f"{local_result.stats.preliminary_violations - local_result.stats.confirmed_bugs}")
+    print(f"bugs                   : {len(local_result.bugs)}")
+
+    print(
+        "\nThe one preliminary violation is the invalid Cartesian combination"
+        "\nthe paper calls '----r' (received before sent): LMC creates it"
+        "\na priori, and the a-posteriori soundness verification proves no"
+        "\nreal run can produce it — so no bug is reported.  Both checkers"
+        "\nagree the protocol is correct."
+    )
+
+    assert not global_result.found_bug and not local_result.found_bug
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,232 @@
+"""Command-line interface: run checkers on named workloads.
+
+Examples::
+
+    python -m repro list
+    python -m repro check paxos --algorithm lmc-opt
+    python -m repro check paxos --algorithm bdfs --max-seconds 60
+    python -m repro check 2pc --buggy --algorithm lmc-gen
+    python -m repro scenario s55 --buggy
+    python -m repro scenario s56
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.core.parallel import ParallelLocalModelChecker
+from repro.explore.budget import SearchBudget
+from repro.explore.global_checker import GlobalModelChecker
+from repro.invariants.base import Invariant
+from repro.model.protocol import Protocol
+from repro.reports import CheckResult
+
+#: protocol name -> (builder(nodes, buggy) -> (protocol, invariant), doc)
+WorkloadBuilder = Callable[[int, bool], Tuple[Protocol, Invariant]]
+
+
+def _paxos(nodes: int, buggy: bool):
+    from repro.protocols.paxos import (
+        BuggyPaxosProtocol,
+        PaxosAgreement,
+        PaxosProtocol,
+    )
+
+    cls = BuggyPaxosProtocol if buggy else PaxosProtocol
+    return cls(num_nodes=nodes, proposals=((0, 0, "v0"),)), PaxosAgreement(0)
+
+
+def _tree(nodes: int, buggy: bool):
+    from repro.protocols.tree import ReceivedImpliesSent, TreeProtocol
+
+    del nodes, buggy
+    return TreeProtocol(), ReceivedImpliesSent()
+
+
+def _chain(nodes: int, buggy: bool):
+    from repro.protocols.chain import ChainOrder, ChainProtocol
+
+    del buggy
+    return ChainProtocol(max(nodes, 2)), ChainOrder()
+
+
+def _echo(nodes: int, buggy: bool):
+    from repro.protocols.echo import EchoProtocol, PongsImplyPing
+
+    del buggy
+    return EchoProtocol(max(nodes, 2)), PongsImplyPing()
+
+
+def _twophase(nodes: int, buggy: bool):
+    from repro.protocols.twophase import (
+        CommitValidity,
+        EagerCommitCoordinator,
+        TwoPhaseCommit,
+    )
+
+    cls = EagerCommitCoordinator if buggy else TwoPhaseCommit
+    return cls(max(nodes, 2), no_voters=(max(nodes, 2) - 1,)), CommitValidity()
+
+
+def _ring(nodes: int, buggy: bool):
+    from repro.protocols.ring import (
+        AtMostOneLeader,
+        GreedyRingElection,
+        RingElection,
+    )
+
+    cls = GreedyRingElection if buggy else RingElection
+    return cls(max(nodes, 2), initiators=(0,)), AtMostOneLeader()
+
+
+def _stream(nodes: int, buggy: bool):
+    from repro.protocols.stream import InOrderDelivery, StreamProtocol
+
+    del nodes, buggy
+    return StreamProtocol(3), InOrderDelivery()
+
+
+def _randtree(nodes: int, buggy: bool):
+    from repro.protocols.randtree import (
+        ChildrenSiblingsDisjoint,
+        RandTreeProtocol,
+        SiblingMixupRandTree,
+    )
+
+    cls = SiblingMixupRandTree if buggy else RandTreeProtocol
+    return cls(max(nodes, 2)), ChildrenSiblingsDisjoint()
+
+
+WORKLOADS: Dict[str, Tuple[WorkloadBuilder, str]] = {
+    "paxos": (_paxos, "3-role Paxos, one proposal (--buggy: §5.5 bug)"),
+    "tree": (_tree, "the §2 forwarding-tree primer"),
+    "chain": (_chain, "sequential token chain (§4.3 counter-example)"),
+    "echo": (_echo, "all-to-all echo broadcast (maximally chatty)"),
+    "2pc": (_twophase, "two-phase commit (--buggy: eager commit)"),
+    "randtree": (_randtree, "RandTree membership (--buggy: sibling mixup)"),
+    "ring": (_ring, "ring leader election (--buggy: greedy crowning)"),
+    "stream": (_stream, "sequenced datagram stream (in-order invariant fails)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Local model checking without the network (NSDI'11)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads and scenarios")
+
+    check = sub.add_parser("check", help="model check a named workload")
+    check.add_argument("workload", choices=sorted(WORKLOADS))
+    check.add_argument(
+        "--algorithm",
+        choices=("bdfs", "lmc-gen", "lmc-opt", "lmc-parallel"),
+        default="lmc-opt",
+    )
+    check.add_argument("--nodes", type=int, default=3)
+    check.add_argument("--buggy", action="store_true")
+    check.add_argument("--max-seconds", type=float, default=None)
+    check.add_argument("--max-depth", type=int, default=None)
+    check.add_argument("--workers", type=int, default=0)
+
+    scenario = sub.add_parser(
+        "scenario", help="run a paper experiment from its live snapshot"
+    )
+    scenario.add_argument("name", choices=("s55", "s56"))
+    scenario.add_argument("--buggy", action="store_true", default=None)
+    scenario.add_argument("--correct", dest="buggy", action="store_false")
+
+    return parser
+
+
+def run_check(args: argparse.Namespace) -> CheckResult:
+    builder, _doc = WORKLOADS[args.workload]
+    protocol, invariant = builder(args.nodes, args.buggy)
+    budget = SearchBudget(max_depth=args.max_depth, max_seconds=args.max_seconds)
+    if args.algorithm == "bdfs":
+        return GlobalModelChecker(protocol, invariant, budget=budget).run()
+    if args.algorithm == "lmc-parallel":
+        return ParallelLocalModelChecker(
+            protocol,
+            invariant,
+            budget=budget,
+            config=LMCConfig.optimized(),
+            workers=args.workers or None,
+        ).run()
+    config = (
+        LMCConfig.optimized()
+        if args.algorithm == "lmc-opt"
+        else LMCConfig.general()
+    )
+    return LocalModelChecker(protocol, invariant, budget=budget, config=config).run()
+
+
+def run_scenario(args: argparse.Namespace) -> CheckResult:
+    buggy = True if args.buggy is None else args.buggy
+    if args.name == "s55":
+        from repro.protocols.paxos import PaxosAgreement
+        from repro.protocols.paxos.scenarios import (
+            partial_choice_state,
+            scenario_protocol,
+        )
+
+        protocol = scenario_protocol(buggy)
+        return LocalModelChecker(
+            protocol, PaxosAgreement(0), config=LMCConfig.optimized()
+        ).run(partial_choice_state())
+    from repro.protocols.onepaxos import OnePaxosAgreement
+    from repro.protocols.onepaxos.scenarios import (
+        post_leaderchange_state,
+        scenario_protocol as onepaxos_scenario,
+    )
+
+    protocol = onepaxos_scenario(buggy)
+    return LocalModelChecker(
+        protocol, OnePaxosAgreement(0), config=LMCConfig.optimized()
+    ).run(post_leaderchange_state(protocol))
+
+
+def print_result(result: CheckResult) -> None:
+    print(f"algorithm     : {result.algorithm}")
+    print(f"completed     : {result.completed} ({result.stop_reason})")
+    stats = result.stats
+    print(f"transitions   : {stats.transitions}")
+    if stats.global_states:
+        print(f"global states : {stats.global_states}")
+    if stats.node_states:
+        print(f"node states   : {stats.node_states}")
+        print(f"system states : {stats.system_states_created}")
+        print(f"preliminary   : {stats.preliminary_violations}")
+        print(f"soundness     : {stats.soundness_calls}")
+    print(f"bugs          : {len(result.bugs)}")
+    for bug in result.bugs:
+        print()
+        print(bug.summary())
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("workloads:")
+        for name, (_builder, doc) in sorted(WORKLOADS.items()):
+            print(f"  {name:10s} {doc}")
+        print("scenarios:")
+        print("  s55        §5.5 injected Paxos bug from the live snapshot")
+        print("  s56        §5.6 1Paxos initialization bug from the snapshot")
+        return 0
+    if args.command == "check":
+        result = run_check(args)
+    else:
+        result = run_scenario(args)
+    print_result(result)
+    return 1 if result.found_bug else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

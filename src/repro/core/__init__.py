@@ -1,0 +1,26 @@
+"""The paper's contribution: the local model checker (LMC)."""
+
+from repro.core.checker import LocalModelChecker
+from repro.core.parallel import ParallelLocalModelChecker
+from repro.core.config import LMCConfig
+from repro.core.records import LocalStateSpace, NodeStateRecord, PredecessorLink
+from repro.core.soundness import SoundnessVerifier, replay_sequences
+from repro.core.system_states import (
+    combination_to_system_state,
+    enumerate_general,
+    enumerate_optimized,
+)
+
+__all__ = [
+    "LMCConfig",
+    "LocalModelChecker",
+    "ParallelLocalModelChecker",
+    "LocalStateSpace",
+    "NodeStateRecord",
+    "PredecessorLink",
+    "SoundnessVerifier",
+    "combination_to_system_state",
+    "enumerate_general",
+    "enumerate_optimized",
+    "replay_sequences",
+]

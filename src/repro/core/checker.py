@@ -1,0 +1,571 @@
+"""The local model checker (LMC): Fig. 9's ``findBugs`` as a library.
+
+The checker keeps, per node, the set ``LS_n`` of traversed local states and
+one shared monotonic network ``I+``.  Exploration proceeds in rounds: every
+stored message is executed on the destination node's states it has not seen
+yet (the per-message cursor), and every node state executes its enabled
+internal actions once.  New node states trigger temporary system-state
+creation anchored at them; invariant violations on those states are
+*preliminary* until soundness verification finds a valid total order of the
+participating event sequences — only then is a bug reported, with the found
+order as its witness trace.
+
+Modes (§5):
+
+* **LMC-GEN** — general system-state creation (full anchored product);
+* **LMC-OPT** — invariant-specific creation via the invariant's local
+  projections (``LMCConfig.optimized()``), the variant that finishes the
+  single-proposal Paxos space in milliseconds;
+* phase toggles reproduce the Fig. 13 configurations **LMC-explore**
+  (``create_system_states=False``) and **LMC-system-state**
+  (``verify_soundness=False``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import LMCConfig
+from repro.core.records import (
+    LINK_BYTES,
+    LocalStateSpace,
+    NodeStateRecord,
+    PredecessorLink,
+)
+from repro.core.soundness import SoundnessVerifier
+from repro.core.system_states import (
+    Combination,
+    combination_to_system_state,
+    enumerate_general,
+    enumerate_optimized,
+)
+from repro.explore.budget import BudgetClock, SearchBudget
+from repro.invariants.base import DecomposableInvariant, Invariant, LocalInvariant
+from repro.model.events import DeliveryEvent, Event, InternalEvent, event_hash, message_hashes
+from repro.model.hashing import content_hash
+from repro.model.protocol import Protocol
+from repro.model.system_state import SystemState
+from repro.model.types import Action, HandlerResult, LocalAssertionError, NodeId
+from repro.network.monotonic import MonotonicNetwork, StoredMessage
+from repro.reports import BugReport, CheckResult
+from repro.stats.counters import ExplorationStats
+from repro.stats.series import DepthSeries
+
+#: How many handler executions between wall-clock budget checks.
+_BUDGET_CHECK_INTERVAL = 256
+
+
+class _StopSearch(Exception):
+    """Internal control flow: a stop criterion fired mid-exploration."""
+
+    def __init__(self, reason: str, completed: bool):
+        super().__init__(reason)
+        self.reason = reason
+        self.completed = completed
+
+
+class LocalModelChecker:
+    """Local model checking with a-posteriori soundness verification."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        invariant: Invariant,
+        budget: SearchBudget = SearchBudget.unbounded(),
+        config: LMCConfig = LMCConfig(),
+    ):
+        self.protocol = protocol
+        self.invariant = invariant
+        self.budget = budget
+        self.config = config
+        self.algorithm = (
+            "LMC-OPT"
+            if config.invariant_specific_creation
+            and isinstance(invariant, DecomposableInvariant)
+            else "LMC-GEN"
+        )
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, initial_system: Optional[SystemState] = None) -> CheckResult:
+        """Explore from ``initial_system`` (default: protocol initial state).
+
+        With a local-event bound configured, bounded passes restart from
+        scratch with widened bounds (§4.2 "Local events") until the budget is
+        spent, a bug is found, or widening stops helping.  Statistics
+        accumulate across passes; the depth series comes from the last pass.
+        """
+        if initial_system is None:
+            initial_system = self.protocol.initial_system_state()
+        clock = BudgetClock(self.budget)
+        total_stats = ExplorationStats()
+        result = CheckResult(
+            algorithm=self.algorithm, completed=False, stats=total_stats
+        )
+        bound = self.config.local_event_bound
+        while True:
+            run_pass = _ExplorationPass(self, initial_system, clock, bound)
+            pass_outcome = run_pass.execute()
+            total_stats.merge(run_pass.stats)
+            result.bugs.extend(run_pass.bugs)
+            result.series = run_pass.series
+            if pass_outcome.stopped:
+                result.completed = pass_outcome.completed
+                result.stop_reason = pass_outcome.reason
+                return result
+            # The pass saturated within its bound.
+            if (
+                bound is None
+                or not run_pass.blocked_by_bound
+                or self.config.widen_increment == 0
+            ):
+                result.completed = True
+                result.stop_reason = pass_outcome.reason
+                return result
+            bound += self.config.widen_increment
+
+
+class _PassOutcome:
+    """How an exploration pass ended."""
+
+    __slots__ = ("stopped", "completed", "reason")
+
+    def __init__(self, stopped: bool, completed: bool, reason: str):
+        self.stopped = stopped
+        self.completed = completed
+        self.reason = reason
+
+
+class _ExplorationPass:
+    """One from-scratch exploration under a fixed local-event bound."""
+
+    def __init__(
+        self,
+        checker: LocalModelChecker,
+        initial_system: SystemState,
+        clock: BudgetClock,
+        local_event_bound: Optional[int],
+    ):
+        self.checker = checker
+        self.protocol = checker.protocol
+        self.invariant = checker.invariant
+        self.config = checker.config
+        self.budget = checker.budget
+        self.clock = clock
+        self.local_event_bound = local_event_bound
+        self.initial_system = initial_system
+
+        self.stats = ExplorationStats()
+        self.bugs: List[BugReport] = []
+        #: Unverified violating combinations (``collect_preliminary`` mode),
+        #: deduplicated — pairwise OPT enumeration can produce the same full
+        #: combination through different conflicting pairs.
+        self.unverified: List[Combination] = []
+        self._unverified_keys: set = set()
+        self.series = DepthSeries(checker.algorithm)
+        self.space = LocalStateSpace(self.protocol.node_ids())
+        self.network = MonotonicNetwork(self.config.duplicate_limit)
+        self.verifier = SoundnessVerifier(
+            self.space,
+            self.stats,
+            max_sequences_per_node=self.config.max_sequences_per_node,
+            max_combinations=self.config.max_combinations_per_check,
+        )
+        self.blocked_by_bound = False
+        self._blocked_by_depth = False
+        # Per-node deepest discovery depth.  The exploration depth the paper
+        # plots is the length of the longest *combined* event sequence, i.e.
+        # the sum of the per-node sequence lengths (the 22-event
+        # decomposition of §5.1 sums events across all three nodes), so the
+        # series uses sum(per-node maxima).
+        self._node_max_depth: Dict[NodeId, int] = {}
+        self._last_recorded_depth = -1
+        self._retained_bytes = 0
+        self._local_cursor: Dict[NodeId, int] = {}
+        self._seed_records: Dict[NodeId, NodeStateRecord] = {}
+        # reverify_rejected extension: cached rejected combinations, indexed
+        # by the (node, record index) pairs they contain.
+        self._rejected_cache: List[Optional[Combination]] = []
+        self._rejected_index: Dict[Tuple[NodeId, int], List[int]] = {}
+        # Cache of invariant projections: recomputing them for every pairwise
+        # scan is quadratic in visited states, and projections of large
+        # multi-decree states are not free.
+        self._projection_cache: Dict[Tuple[NodeId, int], object] = {}
+
+    # -- top level -------------------------------------------------------------
+
+    def execute(self) -> _PassOutcome:
+        """Run rounds to fixpoint, a stop criterion, or a confirmed bug."""
+        try:
+            self._seed()
+            while True:
+                round_start = time.perf_counter()
+                checked_before = self._checking_seconds()
+                try:
+                    executions = self._round()
+                finally:
+                    # Attribute the round's exploration time even when a stop
+                    # criterion (or confirmed bug) aborts it mid-round, so the
+                    # Fig. 13 phase decomposition always accounts for the
+                    # whole run.
+                    round_elapsed = time.perf_counter() - round_start
+                    self.stats.add_phase_time(
+                        "explore",
+                        max(
+                            0.0,
+                            round_elapsed
+                            - (self._checking_seconds() - checked_before),
+                        ),
+                    )
+                self._record_depth_sample()
+                if executions == 0:
+                    reason = (
+                        "depth bound reached"
+                        if self._blocked_by_depth
+                        else "state space exhausted"
+                    )
+                    return _PassOutcome(stopped=False, completed=True, reason=reason)
+        except _StopSearch as stop:
+            return _PassOutcome(
+                stopped=True, completed=stop.completed, reason=stop.reason
+            )
+        finally:
+            self.stats.suppressed_duplicates += self.network.suppressed_duplicates
+            self.stats.node_states = self.space.total_states()
+            # Final sample: the series must end at the run's actual end time
+            # and final counters, even when the deepest level was reached
+            # long before the run stopped.
+            self._record_depth_sample(force=True)
+
+    def _seed(self) -> None:
+        for node, state in self.initial_system.items():
+            record = self.space.seed(node, state)
+            self._seed_records[node] = record
+            self._local_cursor[node] = 0
+            self._retained_bytes += record.retained_bytes()
+        if self.config.create_system_states:
+            self.stats.invariant_checks += 1
+            if not self.invariant.check(self.initial_system):
+                # The live state itself violates: sound by definition.
+                self._report_bug(self.initial_system, trace=())
+        self._record_depth_sample(force=True)
+
+    # -- rounds -----------------------------------------------------------------
+
+    def _round(self) -> int:
+        """One sweep of network and local events; returns executions done."""
+        executions = 0
+        # Network events: each stored message runs on the destination states
+        # it has not been executed on yet ("by jumping over the old states").
+        for node in self.space.node_ids:
+            store = self.space.store(node)
+            for stored in self.network.for_destination(node):
+                end = len(store)
+                if stored.cursor >= end:
+                    continue
+                for index in range(stored.cursor, end):
+                    record = store.records[index]
+                    stored.cursor = index + 1
+                    if record.discarded:
+                        continue
+                    if not self._depth_allows(record):
+                        continue
+                    executions += self._execute_delivery(record, stored)
+        # Local events: internal actions of states not yet expanded.
+        for node in self.space.node_ids:
+            store = self.space.store(node)
+            end = len(store)
+            start = self._local_cursor[node]
+            for index in range(start, end):
+                record = store.records[index]
+                self._local_cursor[node] = index + 1
+                if record.discarded:
+                    continue
+                if not self._depth_allows(record):
+                    continue
+                if (
+                    self.local_event_bound is not None
+                    and record.local_depth >= self.local_event_bound
+                ):
+                    self.blocked_by_bound = True
+                    continue
+                for action in self.protocol.enabled_actions(record.state):
+                    executions += self._execute_internal(record, action)
+        return executions
+
+    def _depth_allows(self, record: NodeStateRecord) -> bool:
+        limit = self.budget.max_depth
+        if limit is not None and record.depth >= limit:
+            self._blocked_by_depth = True
+            return False
+        return True
+
+    # -- handler execution ---------------------------------------------------------
+
+    def _execute_delivery(self, record: NodeStateRecord, stored: StoredMessage) -> int:
+        if stored.hash in record.history:
+            self.stats.history_skips += 1
+            return 0
+        self._tick_budget()
+        try:
+            result = self.protocol.handle_message(record.state, stored.message)
+        except LocalAssertionError:
+            self._handle_assertion_failure(record)
+            return 1
+        if result.is_noop(record.state):
+            self.stats.noop_executions += 1
+            return 1
+        self.stats.transitions += 1
+        event = DeliveryEvent(stored.message)
+        self._integrate(record, event, stored.hash, result, is_internal=False)
+        return 1
+
+    def _execute_internal(self, record: NodeStateRecord, action: Action) -> int:
+        self._tick_budget()
+        try:
+            result = self.protocol.handle_action(record.state, action)
+        except LocalAssertionError:
+            self._handle_assertion_failure(record)
+            return 1
+        if result.is_noop(record.state):
+            self.stats.noop_executions += 1
+            return 1
+        self.stats.transitions += 1
+        event = InternalEvent(action)
+        self._integrate(record, event, None, result, is_internal=True)
+        return 1
+
+    def _handle_assertion_failure(self, record: NodeStateRecord) -> None:
+        if self.config.assertion_policy == "discard" and not record.seed:
+            record.discarded = True
+            self.stats.states_discarded_by_assert += 1
+        # Under "ignore" (or on a seed state) the execution is a no-op.
+        self.stats.noop_executions += 1
+
+    def _integrate(
+        self,
+        record: NodeStateRecord,
+        event: Event,
+        consumed_hash: Optional[int],
+        result: HandlerResult,
+        is_internal: bool,
+    ) -> None:
+        generated = message_hashes(result.sends)
+        self.network.add_all(result.sends)
+        new_hash = content_hash(result.state)
+        link = PredecessorLink(
+            prev_hash=record.hash,
+            event=event,
+            event_hash=event_hash(event),
+            consumed_hash=consumed_hash,
+            generated_hashes=generated,
+        )
+        store = self.space.store(record.node)
+        if new_hash == record.hash:
+            # Sends without a state change: a self-referencing link, ignored
+            # by the predecessor closure (§4.2).
+            record.add_predecessor(link)
+            return
+        existing = store.lookup(new_hash)
+        if existing is not None:
+            if existing.add_predecessor(link):
+                self._retained_bytes += LINK_BYTES
+                if self.config.reverify_rejected:
+                    self._reverify_affected(existing)
+            return
+        history = record.history
+        if consumed_hash is not None:
+            history = history | {consumed_hash}
+        new_record = store.add(
+            result.state,
+            new_hash,
+            depth=record.depth + 1,
+            local_depth=record.local_depth + (1 if is_internal else 0),
+            history=history,
+        )
+        new_record.add_predecessor(link)
+        self._retained_bytes += new_record.retained_bytes()
+        if new_record.depth > self._node_max_depth.get(record.node, 0):
+            self._node_max_depth[record.node] = new_record.depth
+        self._check_new_state(new_record)
+
+    # -- invariant checking over temporary system states -----------------------------
+
+    def _check_new_state(self, new_record: NodeStateRecord) -> None:
+        if not self.config.create_system_states:
+            return
+        started = time.perf_counter()
+        try:
+            if isinstance(self.invariant, LocalInvariant):
+                self._check_local_invariant(new_record)
+                return
+            use_opt = self.config.invariant_specific_creation and isinstance(
+                self.invariant, DecomposableInvariant
+            )
+            if use_opt:
+                combos = enumerate_optimized(
+                    self.space,
+                    new_record.node,
+                    new_record,
+                    self.invariant,
+                    completion_cap=self.config.max_completions_per_conflict,
+                    projection_of=self._cached_projection,
+                )
+            else:
+                combos = enumerate_general(self.space, new_record.node, new_record)
+            for checked, combo in enumerate(combos):
+                if checked % 64 == 63 and self.clock.out_of_time():
+                    raise _StopSearch("time budget exhausted", completed=False)
+                self.stats.system_states_created += 1
+                system = combination_to_system_state(combo)
+                self.stats.invariant_checks += 1
+                if self.invariant.check(system):
+                    continue
+                self.stats.preliminary_violations += 1
+                self._verify_and_report(combo, system)
+        finally:
+            self.stats.add_phase_time(
+                "system_states", time.perf_counter() - started
+            )
+
+    def _check_local_invariant(self, new_record: NodeStateRecord) -> None:
+        assert isinstance(self.invariant, LocalInvariant)
+        self.stats.invariant_checks += 1
+        if self.invariant.check_local(new_record.node, new_record.state):
+            return
+        self.stats.preliminary_violations += 1
+        if not self.config.verify_soundness:
+            return
+        # The violating node state is a bug iff it occurs in *some* valid
+        # system state; its own event sequence may consume messages other
+        # nodes must first generate, so soundness must search over
+        # completions of the other nodes' states, not just the seeds.
+        bugs_before = len(self.bugs)
+        cap = self.config.max_completions_per_local_violation
+        for tried, combo in enumerate(
+            enumerate_general(self.space, new_record.node, new_record)
+        ):
+            if cap is not None and tried >= cap:
+                return
+            if tried % 16 == 15 and self.clock.out_of_time():
+                raise _StopSearch("time budget exhausted", completed=False)
+            self.stats.system_states_created += 1
+            self._verify_and_report(combo, combination_to_system_state(combo))
+            if len(self.bugs) > bugs_before:
+                return  # one witness per violating node state is enough
+
+    def _verify_and_report(self, combo: Combination, system: SystemState) -> None:
+        if not self.config.verify_soundness:
+            if (
+                self.config.collect_preliminary
+                and len(self.unverified) < self.config.max_collected_preliminary
+            ):
+                key = tuple(
+                    (node, record.index) for node, record in sorted(combo.items())
+                )
+                if key not in self._unverified_keys:
+                    self._unverified_keys.add(key)
+                    self.unverified.append(dict(combo))
+            return
+        started = time.perf_counter()
+        witness = self.verifier.is_state_sound(combo)
+        soundness_seconds = time.perf_counter() - started
+        # The enclosing _check_new_state measures its whole wall time into the
+        # "system_states" bucket; compensate so soundness time lands in its
+        # own bucket only.
+        self.stats.add_phase_time("soundness", soundness_seconds)
+        self.stats.add_phase_time("system_states", -soundness_seconds)
+        if witness is None:
+            if self.config.reverify_rejected:
+                self._cache_rejected(combo)
+            return
+        self._report_bug(system, witness)
+
+    def _report_bug(self, system: SystemState, trace: Tuple[Event, ...]) -> None:
+        self.stats.confirmed_bugs += 1
+        self.bugs.append(
+            BugReport(
+                kind="invariant",
+                description=self.invariant.describe_violation(system),
+                violating_state=system,
+                trace=trace,
+                initial_state=self.initial_system,
+            )
+        )
+        if self.config.stop_on_first_bug:
+            raise _StopSearch("bug found", completed=False)
+
+    def _cached_projection(self, node: NodeId, record: NodeStateRecord):
+        key = (node, record.index)
+        if key not in self._projection_cache:
+            assert isinstance(self.invariant, DecomposableInvariant)
+            self._projection_cache[key] = self.invariant.local_projection(
+                node, record.state
+            )
+        return self._projection_cache[key]
+
+    # -- reverify extension ------------------------------------------------------
+
+    def _cache_rejected(self, combo: Combination) -> None:
+        entry_index = len(self._rejected_cache)
+        self._rejected_cache.append(dict(combo))
+        for node, record in combo.items():
+            self._rejected_index.setdefault((node, record.index), []).append(
+                entry_index
+            )
+
+    def _reverify_affected(self, record: NodeStateRecord) -> None:
+        indices = self._rejected_index.get((record.node, record.index))
+        if not indices:
+            return
+        for entry_index in list(indices):
+            combo = self._rejected_cache[entry_index]
+            if combo is None:
+                continue
+            started = time.perf_counter()
+            witness = self.verifier.is_state_sound(combo)
+            self.stats.add_phase_time("soundness", time.perf_counter() - started)
+            if witness is not None:
+                self._rejected_cache[entry_index] = None
+                self._report_bug(combination_to_system_state(combo), witness)
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _checking_seconds(self) -> float:
+        return self.stats.phase_seconds.get(
+            "system_states", 0.0
+        ) + self.stats.phase_seconds.get("soundness", 0.0)
+
+    def _tick_budget(self) -> None:
+        executed = self.stats.transitions + self.stats.noop_executions
+        budget = self.budget
+        if (
+            budget.max_transitions is not None
+            and self.stats.transitions >= budget.max_transitions
+        ):
+            raise _StopSearch("transition budget exhausted", completed=False)
+        if (
+            budget.max_states is not None
+            and self.space.total_states() >= budget.max_states
+        ):
+            raise _StopSearch("state budget exhausted", completed=False)
+        if executed % _BUDGET_CHECK_INTERVAL == 0 and self.clock.out_of_time():
+            raise _StopSearch("time budget exhausted", completed=False)
+
+    def explored_depth(self) -> int:
+        """Length of the longest combined event sequence explored so far."""
+        return sum(self._node_max_depth.values())
+
+    def _record_depth_sample(self, force: bool = False) -> None:
+        depth = self.explored_depth()
+        if not force and depth <= self._last_recorded_depth:
+            return
+        metrics = self.stats.snapshot()
+        metrics["node_states"] = self.space.total_states()
+        metrics["memory_bytes"] = self._retained_bytes + self.network.retained_bytes()
+        if force:
+            self.series.record_or_update(depth, self.clock.elapsed(), metrics)
+        else:
+            self.series.record(depth, self.clock.elapsed(), metrics)
+        self._last_recorded_depth = depth

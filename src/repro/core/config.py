@@ -1,0 +1,134 @@
+"""Configuration of the local model checker.
+
+Every pragmatic knob the paper describes in §4.2 is explicit here, so each
+can be exercised, tested and ablated individually:
+
+* the duplicate-message limit ("This limit is set to zero for the results
+  reported in this paper");
+* the per-round local-event bound with iterative widening ("in each round we
+  put a bound on the number of local events that each node can execute;
+  after finishing the round, the bounds are increased and the model checking
+  is started from scratch");
+* the local-assertion policy (discard the node state vs. ignore);
+* phase toggles used by the Fig. 13 overhead decomposition (disable system
+  state creation / disable soundness verification);
+* the optional re-verification of cached rejected violations when new
+  predecessor pointers appear — the completeness patch §4.2 sketches
+  ("we could cache the system states in which an invariant is violated and
+  reverify them after the changes into LS that affect them") which the
+  paper's prototype leaves out but this library implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LMCConfig:
+    """Knobs of :class:`~repro.core.checker.LocalModelChecker`."""
+
+    #: Extra copies of an identical message admitted into ``I+`` (§4.2).
+    duplicate_limit: int = 0
+
+    #: Starting bound on local (internal) events per node along any discovery
+    #: path; ``None`` disables the bound (single un-widened run).
+    local_event_bound: Optional[int] = None
+
+    #: When a local-event bound is set and the bounded run saturates without
+    #: exhausting the budget, widen the bound by this factor (≥ 1 adds, the
+    #: paper just says "increased") and restart from scratch.  0 disables
+    #: widening.
+    widen_increment: int = 1
+
+    #: Use the invariant's decomposition to create only system states whose
+    #: local projections can conflict (LMC-OPT, §4.2).  Requires the invariant
+    #: to be a :class:`~repro.invariants.base.DecomposableInvariant`; ignored
+    #: otherwise.
+    invariant_specific_creation: bool = False
+
+    #: Fig. 13 phase toggle: materialise system states and check invariants.
+    #: Disabled gives the "LMC-explore" configuration.
+    create_system_states: bool = True
+
+    #: Fig. 13 phase toggle: verify preliminary violations.  Disabled gives
+    #: the "LMC-system-state" configuration: violations are counted but never
+    #: confirmed or reported.
+    verify_soundness: bool = True
+
+    #: Local assertion policy (§4.2): "discard" drops the node state that the
+    #: failing handler would have produced (the paper's choice — assertions in
+    #: the tested code mostly flag unexpected messages, i.e. invalid states
+    #: minted by LMC's conservative delivery); "ignore" keeps exploring as if
+    #: the handler were a no-op.
+    assertion_policy: str = "discard"
+
+    #: Upper bound on event sequences enumerated per node during one
+    #: soundness verification; prevents the §5.2 exponential path blow-up
+    #: from hanging a single call.  ``None`` removes the cap.
+    max_sequences_per_node: Optional[int] = 256
+
+    #: Upper bound on sequence *combinations* tried per soundness call.
+    max_combinations_per_check: Optional[int] = 8192
+
+    #: For :class:`~repro.invariants.base.LocalInvariant` violations, how
+    #: many system-state completions (combinations of the *other* nodes'
+    #: states) to try before giving the violating node state up as invalid.
+    #: A local violation is a bug iff *some* valid system state contains the
+    #: state, so this cap bounds a secondary search; like the soundness caps
+    #: it trades completeness for bounded work.
+    max_completions_per_local_violation: Optional[int] = 64
+
+    #: In the pairwise LMC-OPT enumerator, how many completions over the
+    #: remaining nodes to build per conflicting pair of node states.
+    max_completions_per_conflict: Optional[int] = 128
+
+    #: Extension beyond the paper's prototype: cache preliminary violations
+    #: whose soundness check failed and re-verify them when a new predecessor
+    #: pointer is added to any node state they contain.  Restores the
+    #: completeness the prototype trades away (§4.2 "Implementation
+    #: details"); off by default to match the paper.
+    reverify_rejected: bool = False
+
+    #: Stop the whole run at the first confirmed bug.
+    stop_on_first_bug: bool = True
+
+    #: With ``verify_soundness=False``, keep the violating combinations for
+    #: later (batched or parallel) verification instead of dropping them.
+    #: Used by :class:`~repro.core.parallel.ParallelLocalModelChecker`, which
+    #: exploits the paper's observation that exploration, system-state
+    #: creation and soundness verification are decoupled and "can be
+    #: embarrassingly parallelized".
+    collect_preliminary: bool = False
+
+    #: Cap on collected unverified combinations.  Bounds both memory and the
+    #: per-combination work-unit construction of the parallel verifier.
+    max_collected_preliminary: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.duplicate_limit < 0:
+            raise ValueError("duplicate_limit must be >= 0")
+        if self.local_event_bound is not None and self.local_event_bound < 0:
+            raise ValueError("local_event_bound must be >= 0")
+        if self.widen_increment < 0:
+            raise ValueError("widen_increment must be >= 0")
+        if self.assertion_policy not in ("discard", "ignore"):
+            raise ValueError(
+                f"assertion_policy must be 'discard' or 'ignore', "
+                f"got {self.assertion_policy!r}"
+            )
+        for name in ("max_sequences_per_node", "max_combinations_per_check"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None")
+
+    @classmethod
+    def general(cls, **overrides: object) -> "LMCConfig":
+        """The LMC-GEN configuration of §5: no invariant-specific creation."""
+        return cls(invariant_specific_creation=False, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def optimized(cls, **overrides: object) -> "LMCConfig":
+        """The LMC-OPT configuration of §5: invariant-specific creation on."""
+        return cls(invariant_specific_creation=True, **overrides)  # type: ignore[arg-type]

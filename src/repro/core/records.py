@@ -1,0 +1,223 @@
+"""Per-node state records: the sets ``LS_n`` with predecessor pointers.
+
+LMC's entire persistent state is, per node ``n``, the append-only list of
+distinct local states discovered so far.  Each state carries:
+
+* ``predecessors`` — "all the last immediate node states as well as the
+  executed events on them that led to the current node state" (Fig. 9,
+  line 14).  Following the paper's prototype, a link stores *hashes*: the
+  predecessor state hash, the event hash, the hash of the consumed message
+  (for network events) and the hashes of the generated messages — exactly
+  what the fast soundness replay needs.  We additionally retain the event
+  value itself so confirmed bugs can print readable witness traces.
+* ``history`` — the hashes of messages already executed along the path that
+  first discovered this state (§4.2 "Duplicate messages" rules (i)/(ii)):
+  a message in the history is never redelivered to this state or its
+  descendants.  Matching the paper's simplification, history is set only at
+  first discovery.
+* ``depth`` / ``local_depth`` — events (resp. internal events) on the
+  discovery path, for depth bounds and the per-round local-event bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.model.events import Event
+from repro.model.hashing import content_hash, content_size
+from repro.model.types import NodeId
+
+#: Deterministic memory model: bytes charged per predecessor link (five
+#: 64-bit hashes plus container overhead) and per history entry.
+LINK_BYTES = 48
+HISTORY_ENTRY_BYTES = 8
+INDEX_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class PredecessorLink:
+    """One way of reaching a node state: predecessor + event + message hashes.
+
+    ``prev_hash`` is ``None`` for the initial (live) state, which has no
+    predecessor.  ``consumed_hash`` is the hash of the delivered message for
+    network events and ``None`` for internal events.  ``generated_hashes``
+    are the hashes of the messages the handler emitted, in emission order.
+    """
+
+    prev_hash: Optional[int]
+    event: Event
+    event_hash: int
+    consumed_hash: Optional[int]
+    generated_hashes: Tuple[int, ...]
+
+    def identity(self) -> Tuple[Optional[int], int]:
+        """Deduplication key: same predecessor + same event is the same link."""
+        return (self.prev_hash, self.event_hash)
+
+
+class NodeStateRecord:
+    """A visited local state of one node, with discovery metadata."""
+
+    __slots__ = (
+        "node",
+        "state",
+        "hash",
+        "index",
+        "depth",
+        "local_depth",
+        "history",
+        "predecessors",
+        "seed",
+        "discarded",
+        "_link_keys",
+    )
+
+    def __init__(
+        self,
+        node: NodeId,
+        state: object,
+        state_hash: int,
+        index: int,
+        depth: int,
+        local_depth: int,
+        history: FrozenSet[int],
+    ):
+        self.node = node
+        self.state = state
+        self.hash = state_hash
+        self.index = index
+        self.depth = depth
+        self.local_depth = local_depth
+        self.history = history
+        self.predecessors: List[PredecessorLink] = []
+        #: True for the live/snapshot state the search was seeded with; seed
+        #: states are where backward path enumeration terminates.
+        self.seed = False
+        #: True once a local assertion fired on this state under the
+        #: "discard" policy (§4.2): the state is deemed invalid and excluded
+        #: from further event execution and from system-state combinations.
+        self.discarded = False
+        self._link_keys: set = set()
+
+    def add_predecessor(self, link: PredecessorLink) -> bool:
+        """Record a new way of reaching this state; False if already known."""
+        key = link.identity()
+        if key in self._link_keys:
+            return False
+        self._link_keys.add(key)
+        self.predecessors.append(link)
+        return True
+
+    @property
+    def is_initial(self) -> bool:
+        """True for the live/snapshot state LMC was started from."""
+        return self.seed
+
+    def retained_bytes(self) -> int:
+        """Deterministic memory footprint of this record."""
+        return (
+            content_size(self.state)
+            + INDEX_ENTRY_BYTES
+            + LINK_BYTES * len(self.predecessors)
+            + HISTORY_ENTRY_BYTES * len(self.history)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeStateRecord(node={self.node}, index={self.index}, "
+            f"depth={self.depth}, links={len(self.predecessors)}, "
+            f"state={self.state!r})"
+        )
+
+
+class NodeStateStore:
+    """The set ``LS_n``: append-only distinct states of one node.
+
+    States live in a list in discovery order — the paper's deque, which the
+    monotonic network's per-message cursors index into — with a hash index
+    for O(1) duplicate detection.
+    """
+
+    def __init__(self, node: NodeId):
+        self.node = node
+        self.records: List[NodeStateRecord] = []
+        self._by_hash: Dict[int, NodeStateRecord] = {}
+
+    def lookup(self, state_hash: int) -> Optional[NodeStateRecord]:
+        """The record with this state hash, if the state was visited."""
+        return self._by_hash.get(state_hash)
+
+    def add(
+        self,
+        state: object,
+        state_hash: int,
+        depth: int,
+        local_depth: int,
+        history: FrozenSet[int],
+    ) -> NodeStateRecord:
+        """Append a new (unvisited) state; caller must have checked lookup."""
+        if state_hash in self._by_hash:
+            raise ValueError(f"state already stored for node {self.node}")
+        record = NodeStateRecord(
+            node=self.node,
+            state=state,
+            state_hash=state_hash,
+            index=len(self.records),
+            depth=depth,
+            local_depth=local_depth,
+            history=history,
+        )
+        self.records.append(record)
+        self._by_hash[state_hash] = record
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def retained_bytes(self) -> int:
+        """Deterministic memory footprint of the whole store."""
+        return sum(record.retained_bytes() for record in self.records)
+
+
+class LocalStateSpace:
+    """All per-node stores: the variable ``LS`` of Fig. 9."""
+
+    def __init__(self, node_ids: Tuple[NodeId, ...]):
+        self.node_ids = tuple(node_ids)
+        self.stores: Dict[NodeId, NodeStateStore] = {
+            node: NodeStateStore(node) for node in self.node_ids
+        }
+
+    def store(self, node: NodeId) -> NodeStateStore:
+        """The store ``LS_n`` for ``node``."""
+        return self.stores[node]
+
+    def seed(self, node: NodeId, state: object) -> NodeStateRecord:
+        """Install the live/snapshot state of ``node`` (Fig. 9 lines 3-4)."""
+        state_hash = content_hash(state)
+        record = self.stores[node].add(
+            state, state_hash, depth=0, local_depth=0, history=frozenset()
+        )
+        record.seed = True
+        return record
+
+    def total_states(self) -> int:
+        """Distinct node states across all nodes (the LMC-local curve)."""
+        return sum(len(store) for store in self.stores.values())
+
+    def max_depth(self) -> int:
+        """Deepest discovery depth of any node state."""
+        depth = 0
+        for store in self.stores.values():
+            for record in store:
+                if record.depth > depth:
+                    depth = record.depth
+        return depth
+
+    def retained_bytes(self) -> int:
+        """Deterministic memory footprint across nodes."""
+        return sum(store.retained_bytes() for store in self.stores.values())

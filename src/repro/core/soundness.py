@@ -1,0 +1,226 @@
+"""A-posteriori soundness verification (§4.1 ``isStateSound`` / ``isSequenceValid``).
+
+LMC's Cartesian system states may be invalid — combinations of node states
+that no real run produces.  When an invariant is violated on one, this module
+decides whether the combination is *valid*: it enumerates, per node, the
+event sequences that could have led from the live state to that node's state
+(by following predecessor pointers), and searches the cross product for one
+combination whose events admit a valid total order.
+
+The replay follows the paper's efficient implementation: an event is
+represented by the hash of the message it consumes (network events) and the
+hashes of the messages it generates; replay then reduces to integer
+bookkeeping on a multiset ``net`` of generated-message hashes:
+
+1. a local event is always enabled; a network event is enabled if its
+   consumed hash is in ``net``;
+2. executing pops the event and, for network events, removes the consumed
+   hash from ``net``;
+3. the event's generated hashes are added to ``net``.
+
+Greedy selection of *any* enabled event is sufficient (§4.1: "It actually
+does not matter which enabled event is selected") — the proof sketch is that
+executing an enabled event never disables another node's enabled event
+(messages are only ever added for others), so enabled events persist and the
+greedy order is maximal.
+
+Deviations from the paper, both explicit and bounded:
+
+* self-referencing predecessor links are ignored (the paper does the same);
+* predecessor-path enumeration walks *simple* paths (no repeated state on a
+  path) and is capped by the configured limits; a capped search that found no
+  valid order reports "inconclusive", which the checker treats as invalid
+  (no bug reported), mirroring the paper's favour-simplicity stance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.records import LocalStateSpace, NodeStateRecord, PredecessorLink
+from repro.model.events import Event
+from repro.model.types import NodeId
+from repro.stats.counters import ExplorationStats
+
+
+class SequenceStep:
+    """One event of a node sequence, in hash form plus the original event."""
+
+    __slots__ = ("event", "consumed_hash", "generated_hashes")
+
+    def __init__(
+        self,
+        event: Event,
+        consumed_hash: Optional[int],
+        generated_hashes: Tuple[int, ...],
+    ):
+        self.event = event
+        self.consumed_hash = consumed_hash
+        self.generated_hashes = generated_hashes
+
+    @property
+    def is_network(self) -> bool:
+        """True when this step consumes a message."""
+        return self.consumed_hash is not None
+
+
+#: One node's candidate event sequence, oldest event first.
+NodeSequence = Tuple[SequenceStep, ...]
+
+
+class SoundnessVerifier:
+    """Validates system states against the predecessor structure in ``LS``."""
+
+    def __init__(
+        self,
+        space: LocalStateSpace,
+        stats: ExplorationStats,
+        max_sequences_per_node: Optional[int] = None,
+        max_combinations: Optional[int] = None,
+    ):
+        self._space = space
+        self._stats = stats
+        self._max_sequences = max_sequences_per_node
+        self._max_combinations = max_combinations
+
+    # -- public API -----------------------------------------------------------
+
+    def is_state_sound(
+        self, records: Dict[NodeId, NodeStateRecord]
+    ) -> Optional[Tuple[Event, ...]]:
+        """Search for a valid total order realising this combination.
+
+        ``records`` maps every node to the node-state record of the candidate
+        system state.  Returns the witness event sequence (a valid total
+        order over all nodes' events) when the state is valid, else ``None``.
+        """
+        self._stats.soundness_calls += 1
+        per_node: List[Tuple[NodeId, List[NodeSequence]]] = []
+        for node in sorted(records):
+            sequences = self._enumerate_sequences(records[node])
+            if not sequences:
+                # No acyclic path reaches this state: with the prototype's
+                # simplifications the state cannot be validated.
+                return None
+            per_node.append((node, sequences))
+
+        combinations = 0
+        for combo in self._combinations(per_node):
+            combinations += 1
+            if (
+                self._max_combinations is not None
+                and combinations > self._max_combinations
+            ):
+                return None
+            self._stats.soundness_sequences += 1
+            witness = replay_sequences(combo)
+            if witness is not None:
+                return witness
+        return None
+
+    # -- sequence enumeration ------------------------------------------------
+
+    def _enumerate_sequences(self, record: NodeStateRecord) -> List[NodeSequence]:
+        """All simple predecessor paths from the live state to ``record``.
+
+        Walks the predecessor DAG backwards; a path never revisits a state
+        hash (simple paths) and self-referencing links are skipped, per the
+        paper's simplification.  Truncated at ``max_sequences_per_node``.
+        """
+        sequences: List[NodeSequence] = []
+        store = self._space.store(record.node)
+
+        def walk(current: NodeStateRecord, suffix: List[SequenceStep], seen: set) -> bool:
+            """Extend paths backwards; returns False when the cap is hit."""
+            if current.seed:
+                # The live/seed state: the suffix, reversed, is a complete
+                # sequence from the live state to the target record.
+                sequences.append(tuple(reversed(suffix)))
+                return (
+                    self._max_sequences is None
+                    or len(sequences) < self._max_sequences
+                )
+            for link in current.predecessors:
+                if link.prev_hash is None or link.prev_hash == current.hash:
+                    continue  # self-reference (§4.2) or defensive None
+                if link.prev_hash in seen:
+                    continue  # keep paths simple
+                previous = store.lookup(link.prev_hash)
+                if previous is None:
+                    continue
+                suffix.append(
+                    SequenceStep(link.event, link.consumed_hash, link.generated_hashes)
+                )
+                seen.add(link.prev_hash)
+                keep_going = walk(previous, suffix, seen)
+                seen.discard(link.prev_hash)
+                suffix.pop()
+                if not keep_going:
+                    return False
+            return True
+
+        walk(record, [], {record.hash})
+        return sequences
+
+    # -- combination enumeration -------------------------------------------------
+
+    @staticmethod
+    def _combinations(
+        per_node: Sequence[Tuple[NodeId, List[NodeSequence]]]
+    ) -> Iterator[Dict[NodeId, NodeSequence]]:
+        """Cross product of per-node sequences, lazily."""
+
+        def recurse(i: int, chosen: Dict[NodeId, NodeSequence]):
+            if i == len(per_node):
+                yield dict(chosen)
+                return
+            node, sequences = per_node[i]
+            for sequence in sequences:
+                chosen[node] = sequence
+                yield from recurse(i + 1, chosen)
+            chosen.pop(node, None)
+
+        yield from recurse(0, {})
+
+
+def replay_sequences(
+    sequences: Dict[NodeId, NodeSequence]
+) -> Optional[Tuple[Event, ...]]:
+    """The ``isSequenceValid`` greedy replay over message hashes.
+
+    Returns the total order of events (as a tuple) when every node's sequence
+    drains, else ``None``.
+    """
+    pointers: Dict[NodeId, int] = {node: 0 for node in sequences}
+    net: Dict[int, int] = {}
+    order: List[Event] = []
+    total = sum(len(sequence) for sequence in sequences.values())
+    nodes = sorted(sequences)
+
+    executed = 0
+    progress = True
+    while progress:
+        progress = False
+        for node in nodes:
+            sequence = sequences[node]
+            pointer = pointers[node]
+            while pointer < len(sequence):
+                step = sequence[pointer]
+                if step.is_network:
+                    available = net.get(step.consumed_hash, 0)
+                    if available == 0:
+                        break
+                    if available == 1:
+                        del net[step.consumed_hash]
+                    else:
+                        net[step.consumed_hash] = available - 1
+                for generated in step.generated_hashes:
+                    net[generated] = net.get(generated, 0) + 1
+                order.append(step.event)
+                pointer += 1
+                executed += 1
+                progress = True
+            pointers[node] = pointer
+    if executed == total:
+        return tuple(order)
+    return None

@@ -1,0 +1,274 @@
+"""Temporary system-state creation: the Cartesian step of LMC (§4.1-§4.2).
+
+System states are never stored; they are materialised *temporarily*, purely
+to evaluate invariants, and always anchored at a newly added node state:
+"For each new node state (n,s), the system states are created by iterating
+over the states of all the nodes except node n" (§4.2) — combinations made
+purely of older states were already checked in earlier rounds.
+
+Two enumerators:
+
+* :func:`enumerate_general` — LMC-GEN: the full product over other nodes'
+  visited states.
+* :func:`enumerate_optimized` — LMC-OPT: invariant-specific creation.  The
+  invariant's local projection maps each node state to its relevant summary
+  (Paxos: the chosen value, ``None`` when undecided); only combinations whose
+  projections can *conflict* are generated.  The enumeration prunes branches
+  that can no longer reach a conflict, so when no node has e.g. chosen any
+  value, the product is never walked at all — this is how "LMC-OPT drops the
+  number of created system states to zero" in the bug-free run of Fig. 11.
+
+For invariants that override :meth:`projections_conflict` with a custom
+notion of conflict the pruning logic (which is specific to the default
+"two distinct non-None projections" conflict) is not applicable; the
+optimized enumerator then degrades gracefully to generate-and-filter, which
+is still complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.records import LocalStateSpace, NodeStateRecord
+from repro.invariants.base import DecomposableInvariant
+from repro.model.system_state import SystemState
+from repro.model.types import NodeId
+
+#: A candidate combination: one visited record per node.
+Combination = Dict[NodeId, NodeStateRecord]
+
+
+def combination_to_system_state(combo: Combination) -> SystemState:
+    """Materialise the temporary system state for invariant checking."""
+    return SystemState({node: record.state for node, record in combo.items()})
+
+
+def _active_records(space: LocalStateSpace, node: NodeId) -> List[NodeStateRecord]:
+    """Visited records of ``node`` that were not discarded by a local assert."""
+    return [record for record in space.store(node) if not record.discarded]
+
+
+def enumerate_general(
+    space: LocalStateSpace, anchor_node: NodeId, anchor: NodeStateRecord
+) -> Iterator[Combination]:
+    """LMC-GEN enumeration: full product over other nodes, anchor fixed."""
+    other_nodes = [node for node in space.node_ids if node != anchor_node]
+    per_node: List[List[NodeStateRecord]] = []
+    for node in other_nodes:
+        records = _active_records(space, node)
+        if not records:
+            return
+        per_node.append(records)
+
+    combo: Combination = {anchor_node: anchor}
+
+    def recurse(i: int) -> Iterator[Combination]:
+        if i == len(other_nodes):
+            yield dict(combo)
+            return
+        node = other_nodes[i]
+        for record in per_node[i]:
+            combo[node] = record
+            yield from recurse(i + 1)
+        combo.pop(node, None)
+
+    yield from recurse(0)
+
+
+#: Signature of a (possibly cached) projection lookup.
+ProjectionFn = "Callable[[NodeId, NodeStateRecord], Optional[object]]"
+
+
+def enumerate_optimized(
+    space: LocalStateSpace,
+    anchor_node: NodeId,
+    anchor: NodeStateRecord,
+    invariant: DecomposableInvariant,
+    completion_cap: Optional[int] = None,
+    projection_of=None,
+) -> Iterator[Combination]:
+    """LMC-OPT enumeration: only combinations whose projections conflict.
+
+    For ``pairwise`` invariants (the default, and the paper's own reading of
+    the optimisation) this scans for *pairs* of node states whose
+    projections conflict — one side being the newly added anchor — and
+    completes each pair over the remaining nodes, up to ``completion_cap``
+    completions per pair.  When no node projects anything conflicting, no
+    combination is ever built: the zero-system-states result of Fig. 11.
+
+    For non-pairwise invariants it falls back to the full anchored product,
+    pruned for the default conflict notion and generate-and-filtered for
+    custom ones.  Complete with respect to LMC-GEN (up to the completion
+    cap) for invariants honouring the decomposition contract.
+    """
+    if projection_of is None:
+        projection_of = lambda node, record: invariant.local_projection(  # noqa: E731
+            node, record.state
+        )
+    if invariant.pairwise:
+        yield from _enumerate_pairwise(
+            space, anchor_node, anchor, invariant, completion_cap, projection_of
+        )
+        return
+    if _uses_default_conflict(invariant):
+        yield from _enumerate_conflicting(space, anchor_node, anchor, invariant)
+        return
+    # Custom conflict notion without pairwise structure: generate-and-filter.
+    for combo in enumerate_general(space, anchor_node, anchor):
+        projections = _projections_of(combo, invariant)
+        if invariant.projections_conflict(projections):
+            yield combo
+
+
+def _enumerate_pairwise(
+    space: LocalStateSpace,
+    anchor_node: NodeId,
+    anchor: NodeStateRecord,
+    invariant: DecomposableInvariant,
+    completion_cap: Optional[int],
+    projection_of,
+) -> Iterator[Combination]:
+    """Conflicting (anchor, other) pairs, each completed over remaining nodes.
+
+    Pairs *not* involving the anchor were already examined when their later
+    member was the anchor of an earlier round, so anchored pairs suffice.
+    Completions are enumerated in discovery order and capped per pair.
+    """
+    anchor_projection = projection_of(anchor_node, anchor)
+    if anchor_projection is None:
+        return
+    other_nodes = [node for node in space.node_ids if node != anchor_node]
+    for partner_node in other_nodes:
+        for partner in _active_records(space, partner_node):
+            partner_projection = projection_of(partner_node, partner)
+            if partner_projection is None:
+                continue
+            if not invariant.projections_conflict(
+                {anchor_node: anchor_projection, partner_node: partner_projection}
+            ):
+                continue
+            yield from _completions(
+                space,
+                {anchor_node: anchor, partner_node: partner},
+                completion_cap,
+            )
+
+
+def _completions(
+    space: LocalStateSpace,
+    fixed: Combination,
+    cap: Optional[int],
+) -> Iterator[Combination]:
+    """Complete ``fixed`` over the remaining nodes, capped at ``cap`` combos."""
+    remaining = [node for node in space.node_ids if node not in fixed]
+    per_node: List[List[NodeStateRecord]] = []
+    for node in remaining:
+        records = _active_records(space, node)
+        if not records:
+            return
+        per_node.append(records)
+    produced = 0
+    combo: Combination = dict(fixed)
+
+    def recurse(i: int) -> Iterator[Combination]:
+        nonlocal produced
+        if cap is not None and produced >= cap:
+            return
+        if i == len(remaining):
+            produced += 1
+            yield dict(combo)
+            return
+        node = remaining[i]
+        for record in per_node[i]:
+            combo[node] = record
+            yield from recurse(i + 1)
+            if cap is not None and produced >= cap:
+                break
+        combo.pop(node, None)
+
+    yield from recurse(0)
+
+
+def _uses_default_conflict(invariant: DecomposableInvariant) -> bool:
+    return (
+        type(invariant).projections_conflict
+        is DecomposableInvariant.projections_conflict
+    )
+
+
+def _projections_of(
+    combo: Combination, invariant: DecomposableInvariant
+) -> Dict[NodeId, object]:
+    projections: Dict[NodeId, object] = {}
+    for node, record in combo.items():
+        value = invariant.local_projection(node, record.state)
+        if value is not None:
+            projections[node] = value
+    return projections
+
+
+def _enumerate_conflicting(
+    space: LocalStateSpace,
+    anchor_node: NodeId,
+    anchor: NodeStateRecord,
+    invariant: DecomposableInvariant,
+) -> Iterator[Combination]:
+    """Pruned product for the default conflict: ≥ 2 distinct projections."""
+    other_nodes = [node for node in space.node_ids if node != anchor_node]
+    candidates: List[List[Tuple[NodeStateRecord, Optional[object]]]] = []
+    available: List[frozenset] = []
+    for node in other_nodes:
+        records = _active_records(space, node)
+        if not records:
+            return
+        projected = [
+            (record, invariant.local_projection(node, record.state))
+            for record in records
+        ]
+        candidates.append(projected)
+        available.append(
+            frozenset(value for _, value in projected if value is not None)
+        )
+
+    anchor_projection = invariant.local_projection(anchor_node, anchor.state)
+    combo: Combination = {anchor_node: anchor}
+    initial_values: Tuple[object, ...] = (
+        (anchor_projection,) if anchor_projection is not None else ()
+    )
+
+    def conflict_reachable(distinct: frozenset, i: int) -> bool:
+        """Can positions i.. still complete ``distinct`` to ≥ 2 values?"""
+        if len(distinct) >= 2:
+            return True
+        remaining = available[i:]
+        if distinct:
+            wanted = next(iter(distinct))
+            return any(values - {wanted} for values in remaining)
+        # No value picked yet: need two different values from two different
+        # remaining nodes (each node contributes at most one value).
+        non_empty = [values for values in remaining if values]
+        if len(non_empty) < 2:
+            return False
+        union = frozenset().union(*non_empty)
+        if len(union) < 2:
+            return False
+        # Fails only if every non-empty node offers the identical singleton.
+        return not all(values == non_empty[0] and len(values) == 1 for values in non_empty)
+
+    def recurse(i: int, distinct: frozenset) -> Iterator[Combination]:
+        if not conflict_reachable(distinct, i):
+            return
+        if i == len(other_nodes):
+            if len(distinct) >= 2:
+                yield dict(combo)
+            return
+        node = other_nodes[i]
+        for record, projection in candidates[i]:
+            combo[node] = record
+            next_distinct = (
+                distinct if projection is None else distinct | {projection}
+            )
+            yield from recurse(i + 1, next_distinct)
+        combo.pop(node, None)
+
+    yield from recurse(0, frozenset(initial_values))

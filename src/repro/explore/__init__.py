@@ -1,0 +1,16 @@
+"""Global model checking baseline: exhaustive search over global states."""
+
+from repro.explore.budget import BudgetClock, SearchBudget
+from repro.explore.global_checker import (
+    GlobalModelChecker,
+    apply_event,
+    enumerate_events,
+)
+
+__all__ = [
+    "BudgetClock",
+    "GlobalModelChecker",
+    "SearchBudget",
+    "apply_event",
+    "enumerate_events",
+]

@@ -1,0 +1,89 @@
+"""Search budgets and stop criteria.
+
+Both checkers terminate "upon exceeding some bounds, such as running time or
+search depth" (Fig. 9, ``StopCriterion``).  :class:`SearchBudget` bundles the
+bounds; :class:`BudgetClock` is the per-run stopwatch that evaluates them.
+Online model checking (§3.3) leans on the time bound: the checker gets a few
+seconds between restarts, so running out of budget is the *normal* way a run
+ends there.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Bounds on a single checker run; ``None`` disables a bound.
+
+    ``max_depth`` bounds the number of events in any explored sequence;
+    ``max_seconds`` bounds wall-clock time; ``max_transitions`` bounds
+    handler executions (a deterministic alternative to wall-clock for
+    reproducible tests); ``max_states`` bounds visited states (global states
+    for the global checker, node states for LMC).
+    """
+
+    max_depth: Optional[int] = None
+    max_seconds: Optional[float] = None
+    max_transitions: Optional[int] = None
+    max_states: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_depth", "max_transitions", "max_states"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.max_seconds is not None and self.max_seconds < 0:
+            raise ValueError(f"max_seconds must be >= 0, got {self.max_seconds}")
+
+    @classmethod
+    def unbounded(cls) -> "SearchBudget":
+        """A budget with every bound disabled (exhaustive search)."""
+        return cls()
+
+    @classmethod
+    def depth(cls, max_depth: int) -> "SearchBudget":
+        """Depth-only budget."""
+        return cls(max_depth=max_depth)
+
+    @classmethod
+    def seconds(cls, max_seconds: float, max_depth: Optional[int] = None) -> "SearchBudget":
+        """Time budget, optionally also depth-bounded (the online-MC shape)."""
+        return cls(max_depth=max_depth, max_seconds=max_seconds)
+
+
+class BudgetClock:
+    """Evaluates a :class:`SearchBudget` against a running search."""
+
+    def __init__(self, budget: SearchBudget):
+        self.budget = budget
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since the clock started."""
+        return time.perf_counter() - self._start
+
+    def out_of_time(self) -> bool:
+        """True when the wall-clock bound is exhausted."""
+        limit = self.budget.max_seconds
+        return limit is not None and self.elapsed() >= limit
+
+    def depth_allowed(self, depth: int) -> bool:
+        """True when exploring at ``depth`` is within the depth bound."""
+        limit = self.budget.max_depth
+        return limit is None or depth <= limit
+
+    def stop_reason(self, transitions: int, states: int) -> Optional[str]:
+        """The first exceeded bound as a human-readable label, else None."""
+        if self.out_of_time():
+            return "time budget exhausted"
+        limit = self.budget.max_transitions
+        if limit is not None and transitions >= limit:
+            return "transition budget exhausted"
+        limit = self.budget.max_states
+        if limit is not None and states >= limit:
+            return "state budget exhausted"
+        return None

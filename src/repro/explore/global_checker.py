@@ -1,0 +1,407 @@
+"""The global model checking baseline (§3.2): exhaustive search over global states.
+
+This is the classic approach the paper compares against: every explored state
+is a full global state ``(L, I)`` — system state plus in-flight messages —
+and every network mutation mints a fresh global state.  The checker is sound
+(every visited state is reachable, so every violation is real) and complete
+up to its bounds, but hits exponential explosion almost immediately; that
+explosion *is* the paper's motivation and the B-DFS curves of Figs. 10-12.
+
+Three strategies share one expansion engine:
+
+* ``bfs`` — layered breadth-first search.  With visited-state deduplication
+  it visits exactly the states bounded DFS visits up to any depth, and it
+  yields the per-depth samples Figs. 10-12 plot, so it is the default for
+  benchmarking.
+* ``dfs`` — a single bounded depth-first pass (the literal B-DFS of §3.2).
+* ``iddfs`` — iterative-deepening DFS: B-DFS restarted with a growing bound,
+  the shape MaceMC actually runs; per-bound cumulative times make a series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.explore.budget import BudgetClock, SearchBudget
+from repro.invariants.base import Invariant
+from repro.model.events import DeliveryEvent, Event, InternalEvent
+from repro.model.multiset import FrozenMultiset
+from repro.model.protocol import Protocol
+from repro.model.system_state import GlobalState, SystemState
+from repro.model.types import LocalAssertionError, Message
+from repro.reports import BugReport, CheckResult
+from repro.stats.counters import ExplorationStats
+from repro.stats.series import DepthSeries
+
+#: Deterministic memory model: bytes charged per visited-set entry (a 64-bit
+#: state hash plus table overhead) and per predecessor-map entry.  These
+#: mirror how the MaceMC prototype stores hashes rather than full states.
+HASH_ENTRY_BYTES = 16
+PARENT_ENTRY_BYTES = 24
+
+#: How many transitions to execute between budget re-checks.
+_BUDGET_CHECK_INTERVAL = 256
+
+
+def enumerate_events(protocol: Protocol, state: GlobalState) -> Tuple[Event, ...]:
+    """All events enabled in a global state, in deterministic order.
+
+    Delivery events for each *distinct* in-flight message come first (in the
+    network's canonical order), then internal actions per node in node-id
+    order.
+    """
+    events: List[Event] = [
+        DeliveryEvent(message) for message in state.network.distinct()
+    ]
+    for node, node_state in state.system.items():
+        for action in protocol.enabled_actions(node_state):
+            events.append(InternalEvent(action))
+    return tuple(events)
+
+
+def apply_event(
+    protocol: Protocol, state: GlobalState, event: Event
+) -> Optional[GlobalState]:
+    """Successor global state after executing ``event``, or None for a no-op.
+
+    A no-op arises only from internal actions that change nothing; a message
+    delivery always consumes the message, so it always produces a distinct
+    global state.  Local assertion failures propagate to the caller: in the
+    sound global search they are genuine bugs.
+    """
+    if isinstance(event, DeliveryEvent):
+        message = event.message
+        result = protocol.handle_message(state.system.get(message.dest), message)
+        return state.deliver(message, result.state, result.sends)
+    result = protocol.handle_action(state.system.get(event.node), event.action)
+    if result.is_noop(state.system.get(event.node)):
+        return None
+    return state.run_internal(event.node, result.state, result.sends)
+
+
+class GlobalModelChecker:
+    """Exhaustive checker over global states with pluggable search strategy."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        invariant: Invariant,
+        budget: SearchBudget = SearchBudget.unbounded(),
+        strategy: str = "bfs",
+        record_series: bool = True,
+        stop_on_first_bug: bool = True,
+    ):
+        if strategy not in ("bfs", "dfs", "iddfs"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.protocol = protocol
+        self.invariant = invariant
+        self.budget = budget
+        self.strategy = strategy
+        self.record_series = record_series
+        self.stop_on_first_bug = stop_on_first_bug
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, initial_system: Optional[SystemState] = None) -> CheckResult:
+        """Search from ``initial_system`` (default: the protocol's initial state).
+
+        The network starts empty — when restarting from a live snapshot the
+        online framework treats in-flight messages as lost, which the lossy
+        network model already permits.
+        """
+        if initial_system is None:
+            initial_system = self.protocol.initial_system_state()
+        initial = GlobalState(initial_system, FrozenMultiset())
+        if self.strategy == "bfs":
+            return self._run_bfs(initial)
+        if self.strategy == "dfs":
+            return self._run_dfs(initial, self.budget.max_depth)
+        return self._run_iddfs(initial)
+
+    # -- BFS ------------------------------------------------------------------
+
+    def _run_bfs(self, initial: GlobalState) -> CheckResult:
+        stats = ExplorationStats()
+        clock = BudgetClock(self.budget)
+        series = DepthSeries("B-DFS") if self.record_series else None
+        result = CheckResult(
+            algorithm="B-DFS", completed=False, stats=stats, series=series
+        )
+        visited: Dict[int, int] = {}
+        parents: Dict[int, Tuple[Optional[int], Optional[Event]]] = {}
+        retained = 0
+
+        initial_hash = hash(initial)
+        visited[initial_hash] = 0
+        parents[initial_hash] = (None, None)
+        stats.global_states = 1
+        retained += HASH_ENTRY_BYTES + PARENT_ENTRY_BYTES
+        self._check_state(initial, initial_hash, parents, initial.system, result)
+        if result.bugs and self.stop_on_first_bug:
+            result.stop_reason = "bug found"
+            self._record_depth(series, 0, clock, stats, retained, [initial])
+            return result
+
+        frontier: List[Tuple[GlobalState, int]] = [(initial, initial_hash)]
+        depth = 0
+        self._record_depth(series, depth, clock, stats, retained, [s for s, _ in frontier])
+        while frontier:
+            if not clock.depth_allowed(depth + 1):
+                result.completed = True
+                result.stop_reason = "depth bound reached"
+                return result
+            next_frontier: List[Tuple[GlobalState, int]] = []
+            for state, state_hash in frontier:
+                for event in enumerate_events(self.protocol, state):
+                    reason = self._budget_reason(clock, stats)
+                    if reason:
+                        result.stop_reason = reason
+                        return result
+                    successor = self._execute(
+                        state, state_hash, event, parents, result, stats
+                    )
+                    if successor is None:
+                        continue
+                    succ_hash = hash(successor)
+                    if succ_hash in visited:
+                        continue
+                    visited[succ_hash] = depth + 1
+                    parents[succ_hash] = (state_hash, event)
+                    stats.global_states += 1
+                    retained += HASH_ENTRY_BYTES + PARENT_ENTRY_BYTES
+                    next_frontier.append((successor, succ_hash))
+                    self._check_state(
+                        successor, succ_hash, parents, initial.system, result
+                    )
+                    if result.bugs and self.stop_on_first_bug:
+                        result.stop_reason = "bug found"
+                        self._record_depth(
+                            series, depth + 1, clock, stats, retained,
+                            [s for s, _ in next_frontier],
+                        )
+                        return result
+            depth += 1
+            frontier = next_frontier
+            if frontier:
+                self._record_depth(
+                    series, depth, clock, stats, retained, [s for s, _ in frontier]
+                )
+        result.completed = True
+        result.stop_reason = "state space exhausted"
+        return result
+
+    # -- DFS --------------------------------------------------------------------
+
+    def _run_dfs(self, initial: GlobalState, bound: Optional[int]) -> CheckResult:
+        stats = ExplorationStats()
+        clock = BudgetClock(self.budget)
+        result = CheckResult(algorithm="B-DFS", completed=False, stats=stats)
+        self._dfs_pass(initial, bound, clock, stats, result)
+        if not result.stop_reason:
+            result.completed = True
+            result.stop_reason = "state space exhausted"
+        return result
+
+    def _run_iddfs(self, initial: GlobalState) -> CheckResult:
+        stats = ExplorationStats()
+        clock = BudgetClock(self.budget)
+        series = DepthSeries("B-DFS") if self.record_series else None
+        result = CheckResult(
+            algorithm="B-DFS", completed=False, stats=stats, series=series
+        )
+        bound = 0
+        max_bound = self.budget.max_depth
+        while max_bound is None or bound <= max_bound:
+            pass_stats = ExplorationStats()
+            visited_count, saturated = self._dfs_pass(
+                initial, bound, clock, pass_stats, result
+            )
+            stats.merge(pass_stats)
+            if result.stop_reason:
+                return result
+            retained = visited_count * (HASH_ENTRY_BYTES + PARENT_ENTRY_BYTES)
+            if series is not None:
+                metrics = stats.snapshot()
+                metrics["memory_bytes"] = retained
+                metrics["global_states"] = visited_count
+                series.record(bound, clock.elapsed(), metrics)
+            if result.bugs and self.stop_on_first_bug:
+                result.stop_reason = "bug found"
+                return result
+            if saturated:
+                result.completed = True
+                result.stop_reason = "state space exhausted"
+                return result
+            bound += 1
+        result.completed = True
+        result.stop_reason = "depth bound reached"
+        return result
+
+    def _dfs_pass(
+        self,
+        initial: GlobalState,
+        bound: Optional[int],
+        clock: BudgetClock,
+        stats: ExplorationStats,
+        result: CheckResult,
+    ) -> Tuple[int, bool]:
+        """One bounded DFS pass.  Returns (visited states, saturated?).
+
+        ``saturated`` is True when no path was cut off by the bound, i.e. the
+        reachable state space was exhausted within it.
+        """
+        visited: Dict[int, int] = {}
+        parents: Dict[int, Tuple[Optional[int], Optional[Event]]] = {}
+        initial_hash = hash(initial)
+        visited[initial_hash] = 0
+        parents[initial_hash] = (None, None)
+        stats.global_states += 1
+        self._check_state(initial, initial_hash, parents, initial.system, result)
+        if result.bugs and self.stop_on_first_bug:
+            return len(visited), False
+        saturated = True
+        stack: List[Tuple[GlobalState, int, int]] = [(initial, initial_hash, 0)]
+        while stack:
+            state, state_hash, depth = stack.pop()
+            if bound is not None and depth >= bound:
+                if enumerate_events(self.protocol, state):
+                    saturated = False
+                continue
+            for event in enumerate_events(self.protocol, state):
+                reason = self._budget_reason(clock, stats)
+                if reason:
+                    result.stop_reason = reason
+                    return len(visited), False
+                successor = self._execute(
+                    state, state_hash, event, parents, result, stats
+                )
+                if successor is None:
+                    continue
+                succ_hash = hash(successor)
+                known_depth = visited.get(succ_hash)
+                if known_depth is not None and known_depth <= depth + 1:
+                    continue
+                visited[succ_hash] = depth + 1
+                parents[succ_hash] = (state_hash, event)
+                if known_depth is None:
+                    stats.global_states += 1
+                    self._check_state(
+                        successor, succ_hash, parents, initial.system, result
+                    )
+                    if result.bugs and self.stop_on_first_bug:
+                        return len(visited), False
+                stack.append((successor, succ_hash, depth + 1))
+        return len(visited), saturated
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _execute(
+        self,
+        state: GlobalState,
+        state_hash: int,
+        event: Event,
+        parents: Dict[int, Tuple[Optional[int], Optional[Event]]],
+        result: CheckResult,
+        stats: ExplorationStats,
+    ) -> Optional[GlobalState]:
+        try:
+            successor = apply_event(self.protocol, state, event)
+        except LocalAssertionError as exc:
+            stats.transitions += 1
+            trace = self._rebuild_trace(parents, state_hash) + (event,)
+            result.bugs.append(
+                BugReport(
+                    kind="local-assertion",
+                    description=str(exc),
+                    violating_state=state.system,
+                    trace=trace,
+                    initial_state=state.system,
+                )
+            )
+            stats.confirmed_bugs += 1
+            return None
+        if successor is None:
+            stats.noop_executions += 1
+            return None
+        stats.transitions += 1
+        return successor
+
+    def _check_state(
+        self,
+        state: GlobalState,
+        state_hash: int,
+        parents: Dict[int, Tuple[Optional[int], Optional[Event]]],
+        initial_system: SystemState,
+        result: CheckResult,
+    ) -> None:
+        result.stats.invariant_checks += 1
+        if self.invariant.check(state.system):
+            return
+        trace = self._rebuild_trace(parents, state_hash)
+        result.bugs.append(
+            BugReport(
+                kind="invariant",
+                description=self.invariant.describe_violation(state.system),
+                violating_state=state.system,
+                trace=trace,
+                initial_state=initial_system,
+            )
+        )
+        result.stats.confirmed_bugs += 1
+
+    @staticmethod
+    def _rebuild_trace(
+        parents: Dict[int, Tuple[Optional[int], Optional[Event]]],
+        state_hash: int,
+    ) -> Tuple[Event, ...]:
+        events: List[Event] = []
+        cursor: Optional[int] = state_hash
+        while cursor is not None:
+            parent, event = parents[cursor]
+            if event is not None:
+                events.append(event)
+            cursor = parent
+        events.reverse()
+        return tuple(events)
+
+    def _budget_reason(
+        self, clock: BudgetClock, stats: ExplorationStats
+    ) -> Optional[str]:
+        if stats.transitions % _BUDGET_CHECK_INTERVAL:
+            # Only consult the wall clock periodically; the cheap counter
+            # bounds are evaluated every time.
+            budget = self.budget
+            if (
+                budget.max_transitions is not None
+                and stats.transitions >= budget.max_transitions
+            ):
+                return "transition budget exhausted"
+            if (
+                budget.max_states is not None
+                and stats.global_states >= budget.max_states
+            ):
+                return "state budget exhausted"
+            return None
+        return clock.stop_reason(stats.transitions, stats.global_states)
+
+    def _record_depth(
+        self,
+        series: Optional[DepthSeries],
+        depth: int,
+        clock: BudgetClock,
+        stats: ExplorationStats,
+        retained_hash_bytes: int,
+        frontier: List[GlobalState],
+    ) -> None:
+        if series is None:
+            return
+        metrics = stats.snapshot()
+        # Consumed memory is a high-water mark: the visited-hash table only
+        # grows, and the frontier's peak footprint is what the process had
+        # to hold (Fig. 12 plots "increased memory size").
+        current = retained_hash_bytes + sum(
+            state.retained_bytes() for state in frontier
+        )
+        self._peak_memory = max(getattr(self, "_peak_memory", 0), current)
+        metrics["memory_bytes"] = self._peak_memory
+        series.record(depth, clock.elapsed(), metrics)

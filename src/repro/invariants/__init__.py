@@ -1,0 +1,17 @@
+"""Invariant framework: system invariants, decompositions, local assertions."""
+
+from repro.invariants.base import (
+    AllOf,
+    DecomposableInvariant,
+    Invariant,
+    LocalInvariant,
+    PredicateInvariant,
+)
+
+__all__ = [
+    "AllOf",
+    "DecomposableInvariant",
+    "Invariant",
+    "LocalInvariant",
+    "PredicateInvariant",
+]

@@ -1,0 +1,142 @@
+"""Invariant framework.
+
+Invariants are specified on **system states** — the paper's observation (1):
+"the invariants are typically specified only on the system states, i.e., the
+invariants do not involve the network states".  The framework distinguishes
+three shapes, each unlocking a different optimisation in LMC:
+
+* :class:`Invariant` — the base contract: a predicate over a
+  :class:`~repro.model.system_state.SystemState`.
+* :class:`DecomposableInvariant` — additionally exposes a cheap *local
+  projection* of each node state and a conflict test over projections.  This
+  is the §4.1/§4.2 invariant-specific system-state creation hook: a weaker
+  invariant ``in'`` (``in' ⇒ in`` violation-wise) decomposed into locally
+  verifiable properties, so LMC-OPT can skip every combination whose
+  projections cannot possibly violate the invariant.  For Paxos the
+  projection is the value a node has chosen (``None`` for undecided nodes)
+  and a conflict is "at least two distinct chosen values".
+* :class:`LocalInvariant` — an invariant that is a conjunction of per-node
+  predicates (the RandTree children/siblings-disjoint example); checking it
+  never needs a combination of nodes at all.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.model.system_state import SystemState
+from repro.model.types import NodeId
+
+
+class Invariant(ABC):
+    """A safety property over system states.
+
+    ``check`` returns True when the invariant *holds*.  The checkers report a
+    bug when ``check`` returns False on a state they can prove reachable.
+    """
+
+    #: Short name used in bug reports and benchmark tables.
+    name: str = "invariant"
+
+    @abstractmethod
+    def check(self, system: SystemState) -> bool:
+        """True when the invariant holds on ``system``."""
+
+    def describe_violation(self, system: SystemState) -> str:
+        """Human-readable account of why ``system`` violates the invariant."""
+        return f"invariant {self.name!r} violated on {system!r}"
+
+
+class DecomposableInvariant(Invariant):
+    """An invariant with a cheap local projection for LMC-OPT.
+
+    Subclasses implement :meth:`local_projection`; the default
+    :meth:`projections_conflict` flags any pair of distinct non-``None``
+    projection values, which matches agreement-style invariants (Paxos: no
+    two nodes choose different values).  Subclasses with richer conflict
+    structure override it.
+
+    The contract LMC-OPT relies on (soundness of the *skip*): if a system
+    state violates :meth:`check`, then the projections of its node states
+    must satisfy :meth:`projections_conflict`.  Violating that contract makes
+    LMC-OPT miss bugs; the test suite cross-checks it for every shipped
+    invariant by exhaustive comparison against LMC-GEN.
+
+    ``pairwise`` (default True) additionally asserts that every violation is
+    *witnessed by a pair*: some two nodes' projections already conflict on
+    their own.  This is the paper's own reading ("we thus select only the
+    node states that at least two of them are mapped to different values",
+    §4.2) and lets LMC-OPT scan conflicting pairs instead of walking the
+    full Cartesian product.  Set it to False for exotic invariants whose
+    conflicts only appear with three or more nodes; OPT then falls back to
+    the pruned full-product enumeration.
+    """
+
+    #: Violations are witnessed by a two-node projection conflict.
+    pairwise: bool = True
+
+    @abstractmethod
+    def local_projection(self, node: NodeId, state: Any) -> Optional[Any]:
+        """Project a node state to its invariant-relevant summary.
+
+        Return ``None`` when this node state can never contribute to a
+        violation (e.g. an undecided Paxos node) — LMC-OPT will not combine
+        it into any system state.
+        """
+
+    def projections_conflict(self, projections: Dict[NodeId, Any]) -> bool:
+        """Could node states with these (non-None) projections violate?"""
+        return len(set(projections.values())) >= 2
+
+
+class LocalInvariant(Invariant):
+    """A conjunction of per-node predicates.
+
+    ``check_local(node, state)`` must be True for every node.  The system
+    check is derived; LMC can check these on node states directly, without
+    creating any system state.
+    """
+
+    @abstractmethod
+    def check_local(self, node: NodeId, state: Any) -> bool:
+        """True when ``node``'s local state satisfies its share of the invariant."""
+
+    def check(self, system: SystemState) -> bool:
+        return all(self.check_local(node, state) for node, state in system.items())
+
+    def describe_violation(self, system: SystemState) -> str:
+        failing = [
+            node for node, state in system.items() if not self.check_local(node, state)
+        ]
+        return f"local invariant {self.name!r} violated at nodes {failing}"
+
+
+class PredicateInvariant(Invariant):
+    """Adapter: wrap a plain function ``SystemState -> bool`` as an invariant."""
+
+    def __init__(self, name: str, predicate: Callable[[SystemState], bool]):
+        self.name = name
+        self._predicate = predicate
+
+    def check(self, system: SystemState) -> bool:
+        return self._predicate(system)
+
+
+class AllOf(Invariant):
+    """Conjunction of several invariants; violated when any member is."""
+
+    def __init__(self, invariants: Iterable[Invariant], name: str = "all-of"):
+        self.members: Tuple[Invariant, ...] = tuple(invariants)
+        if not self.members:
+            raise ValueError("AllOf requires at least one invariant")
+        self.name = name
+
+    def check(self, system: SystemState) -> bool:
+        return all(member.check(system) for member in self.members)
+
+    def describe_violation(self, system: SystemState) -> str:
+        for member in self.members:
+            if not member.check(system):
+                return member.describe_violation(system)
+        return f"invariant {self.name!r} holds (no violation to describe)"

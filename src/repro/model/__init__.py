@@ -1,0 +1,61 @@
+"""The distributed-system model: states, messages, events, protocols.
+
+This package is the library's foundation — the executable rendering of the
+paper's Fig. 5 system model.  Everything here is immutable, hashable and
+deterministic; both checkers (:mod:`repro.explore` and :mod:`repro.core`) and
+the live-run simulator (:mod:`repro.online`) are built on it.
+"""
+
+from repro.model.conformance import ConformanceReport, check_protocol
+from repro.model.events import (
+    DeliveryEvent,
+    Event,
+    InternalEvent,
+    event_hash,
+    message_hashes,
+)
+from repro.model.hashing import (
+    UnhashableModelValue,
+    canonical_bytes,
+    content_hash,
+    content_size,
+)
+from repro.model.multiset import FrozenMultiset
+from repro.model.protocol import Protocol, ProtocolConfigError, broadcast
+from repro.model.system_state import GlobalState, SystemState
+from repro.model.types import (
+    Action,
+    HandlerResult,
+    LocalAssertionError,
+    Message,
+    NodeId,
+    SendSet,
+    local_assert,
+)
+
+__all__ = [
+    "Action",
+    "ConformanceReport",
+    "DeliveryEvent",
+    "Event",
+    "FrozenMultiset",
+    "GlobalState",
+    "HandlerResult",
+    "InternalEvent",
+    "LocalAssertionError",
+    "Message",
+    "NodeId",
+    "Protocol",
+    "ProtocolConfigError",
+    "SendSet",
+    "SystemState",
+    "UnhashableModelValue",
+    "broadcast",
+    "check_protocol",
+    "canonical_bytes",
+    "content_hash",
+    "content_size",
+    "event_hash",
+    "local_assert",
+    "message_hashes",
+]

@@ -1,0 +1,192 @@
+"""Protocol conformance checking: does an implementation keep the contract?
+
+Both checkers rely on properties the :class:`~repro.model.protocol.Protocol`
+interface documents but Python cannot enforce:
+
+* **purity/determinism** — running a handler twice on the same inputs yields
+  equal results (footnote 3 of §4.1: every event "must deterministically
+  lead to the same node state", or soundness replay breaks);
+* **hashability** — every reachable node state and emitted message is
+  content-hashable (the closed immutable vocabulary);
+* **totality** — handlers accept any message without crashing (foreign
+  payloads must be no-ops, not exceptions);
+* **stable action enumeration** — ``enabled_actions`` is a pure function of
+  the state.
+
+:func:`check_protocol` drives a bounded exploration of the protocol and
+verifies each property on every state and event it encounters, returning a
+report of violations.  Run it against a new protocol before handing it to a
+checker — it turns silent state-space corruption into a named error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Set, Tuple
+
+from repro.model.events import DeliveryEvent, InternalEvent
+from repro.model.hashing import UnhashableModelValue, content_hash
+from repro.model.protocol import Protocol
+from repro.model.types import LocalAssertionError, Message
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a conformance run."""
+
+    states_checked: int = 0
+    events_checked: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no contract violation was observed."""
+        return not self.problems
+
+    def summary(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"states checked : {self.states_checked}",
+            f"events checked : {self.events_checked}",
+            f"problems       : {len(self.problems)}",
+        ]
+        lines.extend(f"  - {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def check_protocol(
+    protocol: Protocol,
+    max_states: int = 2000,
+    max_problems: int = 20,
+) -> ConformanceReport:
+    """Explore ``protocol`` breadth-first, validating the contract throughout.
+
+    The exploration delivers every generated message to every visited state
+    of its destination (LMC-style conservative delivery), which exercises
+    handlers on inputs they may not expect — exactly the situations in which
+    contract violations hide.
+    """
+    report = ConformanceReport()
+    per_node_states: dict = {node: [] for node in protocol.node_ids()}
+    seen_hashes: dict = {node: set() for node in protocol.node_ids()}
+    messages: List[Message] = []
+    message_hashes: Set[int] = set()
+
+    def note(problem: str) -> None:
+        if len(report.problems) < max_problems:
+            report.problems.append(problem)
+
+    def admit_state(node: int, state: Any) -> None:
+        try:
+            digest = content_hash(state)
+        except UnhashableModelValue as exc:
+            note(f"unhashable state on node {node}: {exc}")
+            return
+        if digest in seen_hashes[node]:
+            return
+        seen_hashes[node].add(digest)
+        per_node_states[node].append(state)
+        report.states_checked += 1
+
+    def admit_sends(sends: Tuple[Message, ...], context: str) -> None:
+        for message in sends:
+            if not isinstance(message, Message):
+                note(f"{context}: send is not a Message: {message!r}")
+                continue
+            if message.dest not in per_node_states:
+                note(f"{context}: send to unknown node {message.dest}")
+                continue
+            try:
+                digest = content_hash(message)
+            except UnhashableModelValue as exc:
+                note(f"{context}: unhashable message: {exc}")
+                continue
+            if digest not in message_hashes:
+                message_hashes.add(digest)
+                messages.append(message)
+
+    def run_twice(handler, state, argument, context: str):
+        try:
+            first = handler(state, argument)
+        except LocalAssertionError:
+            return None  # a declared local assertion is contract-compliant
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            note(f"{context}: handler raised {type(exc).__name__}: {exc}")
+            return None
+        try:
+            second = handler(state, argument)
+        except Exception:  # noqa: BLE001
+            note(f"{context}: handler is non-deterministic (raised on rerun)")
+            return None
+        if first.state != second.state or first.sends != second.sends:
+            note(f"{context}: handler is non-deterministic (differing results)")
+            return None
+        return first
+
+    for node in protocol.node_ids():
+        admit_state(node, protocol.initial_state(node))
+
+    # foreign-payload totality probe
+    for node in protocol.node_ids():
+        state = per_node_states[node][0]
+        probe = Message(dest=node, src=node, payload="__conformance_probe__")
+        result = run_twice(
+            protocol.handle_message, state, probe, f"node {node} foreign payload"
+        )
+        if result is not None and not result.is_noop(state):
+            note(f"node {node}: foreign payload was not a no-op")
+
+    total = lambda: sum(len(states) for states in per_node_states.values())  # noqa: E731
+    progress = True
+    while progress and total() < max_states:
+        progress = False
+        # internal actions on every state
+        for node in protocol.node_ids():
+            for state in list(per_node_states[node]):
+                try:
+                    once = protocol.enabled_actions(state)
+                    twice = protocol.enabled_actions(state)
+                except Exception as exc:  # noqa: BLE001
+                    note(f"node {node}: enabled_actions raised {exc}")
+                    continue
+                if once != twice:
+                    note(f"node {node}: enabled_actions is unstable")
+                for action in once:
+                    if action.node != node:
+                        note(
+                            f"node {node}: enabled action targets node "
+                            f"{action.node}"
+                        )
+                    result = run_twice(
+                        protocol.handle_action,
+                        state,
+                        action,
+                        f"action {action.name} on node {node}",
+                    )
+                    report.events_checked += 1
+                    if result is None:
+                        continue
+                    admit_sends(result.sends, f"action {action.name}")
+                    before = len(seen_hashes[node])
+                    admit_state(node, result.state)
+                    if len(seen_hashes[node]) > before:
+                        progress = True
+        # every message on every state of its destination
+        for message in list(messages):
+            for state in list(per_node_states[message.dest]):
+                result = run_twice(
+                    protocol.handle_message,
+                    state,
+                    message,
+                    f"message {type(message.payload).__name__} "
+                    f"on node {message.dest}",
+                )
+                report.events_checked += 1
+                if result is None:
+                    continue
+                admit_sends(result.sends, "message handler")
+                before = len(seen_hashes[message.dest])
+                admit_state(message.dest, result.state)
+                if len(seen_hashes[message.dest]) > before:
+                    progress = True
+    return report

@@ -1,0 +1,85 @@
+"""Events: the things a model checker schedules.
+
+A transition of the Fig. 5 system executes exactly one *event* on one node —
+either the delivery of an in-flight message (running the message handler
+``H_M``) or an internal action such as a timer or application call (running
+``H_A``).  Both checkers in this library — the global B-DFS baseline and the
+local LMC — schedule values of the :class:`Event` union defined here, and
+LMC's predecessor pointers store event *hashes* alongside the hashes of the
+messages each event generated (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.model.hashing import content_hash
+from repro.model.types import Action, Message, NodeId
+
+
+@dataclass(frozen=True, order=True)
+class DeliveryEvent:
+    """Delivery of ``message`` to its destination node (a network event)."""
+
+    message: Message
+
+    @property
+    def node(self) -> NodeId:
+        """The node on which the event executes (the message destination)."""
+        return self.message.dest
+
+    @property
+    def is_network(self) -> bool:
+        """True: delivery events consume a network message."""
+        return True
+
+    def describe(self) -> str:
+        """Human-readable rendering used in logs and counterexamples."""
+        return f"deliver {self.message.describe()}"
+
+
+@dataclass(frozen=True, order=True)
+class InternalEvent:
+    """Execution of internal action ``action`` on its node (a local event)."""
+
+    action: Action
+
+    @property
+    def node(self) -> NodeId:
+        """The node on which the event executes."""
+        return self.action.node
+
+    @property
+    def is_network(self) -> bool:
+        """False: internal events do not consume a network message."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable rendering used in logs and counterexamples."""
+        return f"run {self.action.describe()}"
+
+
+Event = Union[DeliveryEvent, InternalEvent]
+
+
+def event_hash(event: Event) -> int:
+    """Stable content hash of an event.
+
+    LMC stores these in predecessor pointers instead of the events themselves
+    ("Instead of the actual event, its hash is added into the predecessor
+    pointers", §4.2).  This module hashes the full event value; the hash of a
+    delivery event therefore coincides for duplicate sends of an equal
+    message, exactly as in the paper's prototype.
+    """
+    return content_hash(event)
+
+
+def message_hashes(messages: Tuple[Message, ...]) -> Tuple[int, ...]:
+    """Hashes of a handler's generated messages, in emission order.
+
+    These are the values stored next to each predecessor pointer so the
+    soundness replay can maintain its generated-message set ``net`` with
+    integer operations only.
+    """
+    return tuple(content_hash(message) for message in messages)

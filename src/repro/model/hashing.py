@@ -1,0 +1,152 @@
+"""Deterministic content hashing for model states, messages and events.
+
+The paper's prototype stores *hashes of serialized states* to deduplicate
+visited node states cheaply, keeps event hashes in predecessor pointers, and
+reduces soundness replay to "integer comparison operations" over message
+hashes (§4.2).  This module is our stand-in for MaceMC's serialization layer.
+
+Python's built-in ``hash`` is salted per process for strings, so it cannot
+serve as a *stable* content hash.  Instead we canonically encode values to
+bytes and hash with BLAKE2b.  The encoding covers the vocabulary protocol
+authors are allowed to use in states and payloads: primitives, tuples,
+frozensets, mappings with orderable keys, and frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from hashlib import blake2b
+from typing import Any, Dict, Iterable
+
+#: Number of bytes of BLAKE2b digest retained.  64 bits keeps hash values in
+#: cheap machine ints while making accidental collisions vanishingly unlikely
+#: for the state-space sizes a model checker visits.
+_DIGEST_BYTES = 8
+
+# Type tags keep the encoding prefix-free across types, so e.g. the integer 1
+# and the string "1" and the one-element tuple (1,) never collide.
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_TUPLE = b"t"
+_TAG_FROZENSET = b"S"
+_TAG_MAPPING = b"m"
+_TAG_DATACLASS = b"d"
+
+
+class UnhashableModelValue(TypeError):
+    """A value of an unsupported type appeared inside a model state.
+
+    Model states must be built from immutable values; lists, dicts and sets
+    are rejected on purpose (they are mutable, so states containing them are
+    not safe to share between explored branches).
+    """
+
+
+def canonical_encode(value: Any, out: bytearray) -> None:
+    """Append a canonical, prefix-free byte encoding of ``value`` to ``out``.
+
+    The encoding is deterministic across processes and Python versions that
+    share ``repr`` semantics for floats (we encode floats via ``repr`` to
+    remain exact for round-trippable values).
+    """
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out += _TAG_INT + len(body).to_bytes(4, "big") + body
+    elif isinstance(value, float):
+        body = repr(value).encode("ascii")
+        out += _TAG_FLOAT + len(body).to_bytes(4, "big") + body
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out += _TAG_STR + len(body).to_bytes(4, "big") + body
+    elif isinstance(value, bytes):
+        out += _TAG_BYTES + len(value).to_bytes(4, "big") + value
+    elif isinstance(value, tuple):
+        out += _TAG_TUPLE + len(value).to_bytes(4, "big")
+        for item in value:
+            canonical_encode(item, out)
+    elif isinstance(value, frozenset):
+        # Sets are unordered: encode elements individually and sort the
+        # encodings so equal sets encode equally.
+        encodings = []
+        for item in value:
+            piece = bytearray()
+            canonical_encode(item, piece)
+            encodings.append(bytes(piece))
+        encodings.sort()
+        out += _TAG_FROZENSET + len(encodings).to_bytes(4, "big")
+        for piece in encodings:
+            out += piece
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = dataclasses.fields(value)
+        name = type(value).__qualname__.encode("utf-8")
+        out += _TAG_DATACLASS + len(name).to_bytes(4, "big") + name
+        out += len(fields).to_bytes(4, "big")
+        for field in fields:
+            canonical_encode(getattr(value, field.name), out)
+    elif isinstance(value, dict):
+        # Mappings are accepted read-only for convenience in *encoding* (for
+        # example a frozen dataclass exposing a derived dict); model states
+        # themselves should prefer tuples of pairs.
+        try:
+            items = sorted(value.items())
+        except TypeError as exc:  # unorderable keys
+            raise UnhashableModelValue(
+                f"mapping with unorderable keys in model value: {value!r}"
+            ) from exc
+        out += _TAG_MAPPING + len(items).to_bytes(4, "big")
+        for key, item in items:
+            canonical_encode(key, out)
+            canonical_encode(item, out)
+    else:
+        raise UnhashableModelValue(
+            f"unsupported type {type(value).__name__!r} in model value: {value!r}"
+        )
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Return the canonical byte encoding of ``value``."""
+    out = bytearray()
+    canonical_encode(value, out)
+    return bytes(out)
+
+
+def content_hash(value: Any) -> int:
+    """Stable 64-bit content hash of a model value.
+
+    Equal values always hash equally, across processes and runs; this is the
+    identity used for visited-state dedup, predecessor pointers and the
+    soundness replay's generated-message sets.
+    """
+    digest = blake2b(canonical_bytes(value), digest_size=_DIGEST_BYTES).digest()
+    return int.from_bytes(digest, "big")
+
+
+def content_size(value: Any) -> int:
+    """Serialized size of ``value`` in bytes.
+
+    Used by the deterministic memory accounting behind the Fig. 12
+    reproduction: retained memory is the sum of serialized sizes of the
+    states a checker keeps, which makes the reported series independent of
+    allocator behaviour.
+    """
+    return len(canonical_bytes(value))
+
+
+def hash_many(values: Iterable[Any]) -> Dict[int, Any]:
+    """Hash each value, returning a ``hash -> value`` mapping.
+
+    Convenience helper for tests and debugging tools that need to resolve
+    hashes back to values.
+    """
+    return {content_hash(value): value for value in values}

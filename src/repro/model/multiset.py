@@ -1,0 +1,132 @@
+"""An immutable multiset with deterministic iteration order.
+
+The network component ``I`` of a global state is a *multiset* of in-flight
+messages: the same message value can be in flight more than once (e.g. a
+retransmission racing its original).  Global model checking needs to add and
+remove single occurrences while keeping states hashable and equality-
+comparable; exploration additionally needs a *deterministic* iteration order
+so that runs are reproducible.  :class:`FrozenMultiset` provides all three.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generic, Iterable, Iterator, Tuple, TypeVar
+
+from repro.model.hashing import canonical_bytes, content_hash
+
+T = TypeVar("T")
+
+
+class FrozenMultiset(Generic[T]):
+    """Immutable multiset over content-hashable elements.
+
+    Elements are stored with multiplicities; iteration yields elements in a
+    canonical order (sorted by their canonical byte encoding) with duplicates
+    repeated.  All mutating operations return a new multiset.
+    """
+
+    __slots__ = ("_counts", "_hash", "_size")
+
+    def __init__(self, items: Iterable[T] = ()):  # noqa: D107 - documented above
+        counts: Dict[T, int] = {}
+        size = 0
+        for item in items:
+            counts[item] = counts.get(item, 0) + 1
+            size += 1
+        self._counts = counts
+        self._size = size
+        self._hash: int | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def _from_counts(cls, counts: Dict[T, int], size: int) -> "FrozenMultiset[T]":
+        new = cls.__new__(cls)
+        new._counts = counts
+        new._size = size
+        new._hash = None
+        return new
+
+    def add(self, item: T, count: int = 1) -> "FrozenMultiset[T]":
+        """Return a new multiset with ``count`` extra occurrences of ``item``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return self
+        counts = dict(self._counts)
+        counts[item] = counts.get(item, 0) + count
+        return self._from_counts(counts, self._size + count)
+
+    def add_all(self, items: Iterable[T]) -> "FrozenMultiset[T]":
+        """Return a new multiset with one extra occurrence of each item."""
+        counts = dict(self._counts)
+        added = 0
+        for item in items:
+            counts[item] = counts.get(item, 0) + 1
+            added += 1
+        if not added:
+            return self
+        return self._from_counts(counts, self._size + added)
+
+    def remove(self, item: T) -> "FrozenMultiset[T]":
+        """Return a new multiset with one occurrence of ``item`` removed.
+
+        Raises :class:`KeyError` if ``item`` is not present — removing a
+        message that is not in flight is always a checker bug.
+        """
+        current = self._counts.get(item, 0)
+        if current == 0:
+            raise KeyError(item)
+        counts = dict(self._counts)
+        if current == 1:
+            del counts[item]
+        else:
+            counts[item] = current - 1
+        return self._from_counts(counts, self._size - 1)
+
+    # -- queries -----------------------------------------------------------
+
+    def count(self, item: T) -> int:
+        """Multiplicity of ``item`` (0 when absent)."""
+        return self._counts.get(item, 0)
+
+    def distinct(self) -> Tuple[T, ...]:
+        """Distinct elements in canonical order."""
+        return tuple(sorted(self._counts, key=canonical_bytes))
+
+    def items(self) -> Tuple[Tuple[T, int], ...]:
+        """``(element, multiplicity)`` pairs in canonical order."""
+        return tuple((item, self._counts[item]) for item in self.distinct())
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._counts
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[T]:
+        for item in self.distinct():
+            for _ in range(self._counts[item]):
+                yield item
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- identity ----------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, FrozenMultiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = content_hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{item!r}" + (f"×{count}" if count > 1 else "")
+            for item, count in self.items()
+        )
+        return f"FrozenMultiset({{{inner}}})"

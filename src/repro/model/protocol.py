@@ -1,0 +1,104 @@
+"""The protocol interface: node behaviour as pure handler functions.
+
+A protocol supplies the paper's two handler relations as pure functions over
+immutable node states:
+
+* ``handle_message(state, message)`` — the message handler ``H_M``:
+  ``((s1, m), (s2, c))`` becomes ``handle_message(s1, m) == (s2, c)``;
+* ``handle_action(state, action)`` — the internal handler ``H_A`` for timers
+  and application calls, with ``enabled_actions(state)`` enumerating which
+  internal actions are enabled in a given node state (the paper: "the value
+  of node state LS_ns determines which of the local events are enabled").
+
+Determinism note (§4.1, footnote 3): each event must deterministically lead
+to the same node state, because LMC re-executes event sequences during
+soundness verification.  Handlers must therefore be pure; any nondeterminism
+(e.g. a random backoff choice) must be folded into the event payload.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Tuple
+
+from repro.model.events import DeliveryEvent, Event, InternalEvent
+from repro.model.system_state import SystemState
+from repro.model.types import Action, HandlerResult, Message, NodeId
+
+
+class Protocol(ABC):
+    """Behaviour of a distributed system: every node runs this state machine.
+
+    Concrete protocols are *configured* instances (e.g. ``Paxos(num_nodes=3)``)
+    whose methods are pure functions of their arguments.  The same instance is
+    shared by live runs, the global checker and LMC.
+    """
+
+    #: Short machine-readable protocol name used in reports and benchmarks.
+    name: str = "protocol"
+
+    @abstractmethod
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        """The finite set ``N`` of node identifiers, ascending."""
+
+    @abstractmethod
+    def initial_state(self, node: NodeId) -> Any:
+        """The initial local state of ``node``."""
+
+    @abstractmethod
+    def handle_message(self, state: Any, message: Message) -> HandlerResult:
+        """Execute the message handler ``H_M`` on ``state``.
+
+        Must be pure and total: a message the node does not care about in
+        this state returns ``HandlerResult(state)`` (a no-op).  May raise
+        :class:`~repro.model.types.LocalAssertionError` for node-local
+        assertion failures (§4.2 "Local assertions").
+        """
+
+    @abstractmethod
+    def enabled_actions(self, state: Any) -> Tuple[Action, ...]:
+        """Internal actions (timers, application calls) enabled in ``state``."""
+
+    @abstractmethod
+    def handle_action(self, state: Any, action: Action) -> HandlerResult:
+        """Execute the internal handler ``H_A`` on ``state``.
+
+        Same purity/totality contract as :meth:`handle_message`.
+        """
+
+    # -- provided conveniences -------------------------------------------------
+
+    def initial_system_state(self) -> SystemState:
+        """The system state in which every node is in its initial state."""
+        return SystemState({node: self.initial_state(node) for node in self.node_ids()})
+
+    def execute(self, state: Any, event: Event) -> HandlerResult:
+        """Dispatch an event to the matching handler.
+
+        Raises :class:`ValueError` when the event does not target the node
+        whose state was supplied — that is always a checker bug, not a
+        protocol bug.
+        """
+        if isinstance(event, DeliveryEvent):
+            return self.handle_message(state, event.message)
+        if isinstance(event, InternalEvent):
+            return self.handle_action(state, event.action)
+        raise ValueError(f"unknown event type: {event!r}")
+
+    def num_nodes(self) -> int:
+        """Number of nodes in this configuration."""
+        return len(self.node_ids())
+
+
+class ProtocolConfigError(ValueError):
+    """A protocol was instantiated with an unusable configuration."""
+
+
+def broadcast(src: NodeId, targets: Tuple[NodeId, ...], payload: Any) -> Tuple[Message, ...]:
+    """Messages carrying ``payload`` from ``src`` to each target, in id order.
+
+    Broadcast is the dominant send pattern in the chatty protocols the paper
+    targets (Prepare/Accept/Learn in Paxos all broadcast); centralising it
+    keeps emission order deterministic.
+    """
+    return tuple(Message(dest=dest, src=src, payload=payload) for dest in sorted(targets))

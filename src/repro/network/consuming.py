@@ -1,0 +1,73 @@
+"""The consuming network of global model checking (Fig. 5 semantics).
+
+In the classic global approach the network state ``I`` is part of every
+global state: sending inserts a message into the multiset, delivery removes
+it.  :class:`ConsumingNetwork` is a thin immutable wrapper over
+:class:`~repro.model.multiset.FrozenMultiset` that names those semantics and
+enumerates enabled delivery events deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.model.events import DeliveryEvent
+from repro.model.multiset import FrozenMultiset
+from repro.model.types import Message, NodeId
+
+
+class ConsumingNetwork:
+    """Immutable in-flight message multiset with consume-on-delivery semantics."""
+
+    __slots__ = ("_messages",)
+
+    def __init__(self, messages: FrozenMultiset[Message] | Iterable[Message] = ()):
+        if isinstance(messages, FrozenMultiset):
+            self._messages = messages
+        else:
+            self._messages = FrozenMultiset(messages)
+
+    @property
+    def messages(self) -> FrozenMultiset[Message]:
+        """The underlying multiset ``I``."""
+        return self._messages
+
+    def send(self, sends: Tuple[Message, ...]) -> "ConsumingNetwork":
+        """Network after inserting a handler's emitted messages."""
+        if not sends:
+            return self
+        return ConsumingNetwork(self._messages.add_all(sends))
+
+    def deliver(self, message: Message) -> "ConsumingNetwork":
+        """Network after removing one occurrence of ``message``.
+
+        Raises :class:`KeyError` when the message is not in flight.
+        """
+        return ConsumingNetwork(self._messages.remove(message))
+
+    def enabled_deliveries(self) -> Tuple[DeliveryEvent, ...]:
+        """One delivery event per *distinct* in-flight message, canonical order.
+
+        Delivering two identical in-flight copies reaches the same successor
+        state, so enumerating distinct messages loses no behaviour while
+        trimming the branching factor.
+        """
+        return tuple(DeliveryEvent(message) for message in self._messages.distinct())
+
+    def in_flight_to(self, node: NodeId) -> Tuple[Message, ...]:
+        """Distinct in-flight messages destined to ``node``, canonical order."""
+        return tuple(m for m in self._messages.distinct() if m.dest == node)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConsumingNetwork):
+            return NotImplemented
+        return self._messages == other._messages
+
+    def __hash__(self) -> int:
+        return hash(self._messages)
+
+    def __repr__(self) -> str:
+        return f"ConsumingNetwork({self._messages!r})"

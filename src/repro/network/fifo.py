@@ -1,0 +1,79 @@
+"""Per-connection FIFO delivery — the simulated-TCP discussion of §4.3.
+
+The paper notes that protocols running over TCP are usually model checked
+against a *simulated* TCP rather than the real stack, and that a checker can
+"benefit from the fact that reordered messages in a connection will
+eventually be rejected by TCP and could, hence, be ignored".
+
+:class:`FifoNetwork` offers the live-run side of that: a reliable network
+that delivers each ``(src, dest)`` channel in order.  :func:`fifo_admissible`
+offers the checker side: given the per-channel sequence numbers a FIFO
+transport would stamp, it decides whether delivering a message now would be
+an out-of-order delivery the transport would reject — letting a checker skip
+the corresponding handler execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.model.types import Message, NodeId
+
+
+class FifoNetwork:
+    """A reliable network delivering each directed channel in FIFO order."""
+
+    def __init__(self) -> None:
+        self._channels: Dict[Tuple[NodeId, NodeId], Deque[Message]] = {}
+        self.sent = 0
+        self.delivered = 0
+
+    def send(self, message: Message) -> None:
+        """Enqueue ``message`` on its ``(src, dest)`` channel."""
+        key = (message.src, message.dest)
+        self._channels.setdefault(key, deque()).append(message)
+        self.sent += 1
+
+    def deliverable_channels(self) -> Tuple[Tuple[NodeId, NodeId], ...]:
+        """Channels with at least one queued message, in sorted order."""
+        return tuple(sorted(key for key, queue in self._channels.items() if queue))
+
+    def peek(self, src: NodeId, dest: NodeId) -> Optional[Message]:
+        """Head-of-line message of a channel without removing it."""
+        queue = self._channels.get((src, dest))
+        if not queue:
+            return None
+        return queue[0]
+
+    def deliver(self, src: NodeId, dest: NodeId) -> Message:
+        """Pop and return the head-of-line message of a channel."""
+        queue = self._channels.get((src, dest))
+        if not queue:
+            raise KeyError(f"channel {(src, dest)} has no queued message")
+        self.delivered += 1
+        return queue.popleft()
+
+    def pending(self) -> int:
+        """Total queued messages across channels."""
+        return sum(len(queue) for queue in self._channels.values())
+
+    def __repr__(self) -> str:
+        return f"FifoNetwork(sent={self.sent}, delivered={self.delivered}, pending={self.pending()})"
+
+
+def fifo_admissible(
+    delivered_seq: Dict[Tuple[NodeId, NodeId], int],
+    message_seq: int,
+    src: NodeId,
+    dest: NodeId,
+) -> bool:
+    """Would a FIFO transport accept this delivery now?
+
+    ``delivered_seq`` maps each channel to the number of messages already
+    delivered on it; ``message_seq`` is the 0-based sequence number the
+    transport stamped on the candidate message.  A FIFO transport accepts the
+    message exactly when it is the next expected one; a checker exploring
+    TCP-backed protocols can skip deliveries for which this returns False.
+    """
+    return delivered_seq.get((src, dest), 0) == message_seq

@@ -1,0 +1,87 @@
+"""Best-effort lossy network for live runs (the UDP of §5.5).
+
+The paper's online experiments run the system under test over UDP and drop
+"30% of non-loopback messages ... randomly to allow rare states to be also
+created".  :class:`LossyNetwork` reproduces that environment inside the
+discrete-event live-run simulator: every send either enters the in-flight
+queue (with a randomised delivery delay) or is dropped; loopback messages
+(``src == dest``) are never dropped, matching the paper's setup and the fact
+that loopback delivery does not cross a real wire.
+
+All randomness flows through the single :class:`random.Random` instance the
+caller supplies, so live runs are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import List, Optional, Tuple
+
+from repro.model.types import Message
+
+
+class LossyNetwork:
+    """A lossy, reordering network with randomised per-message latency."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        drop_probability: float = 0.0,
+        min_latency: float = 0.01,
+        max_latency: float = 0.1,
+    ):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be within [0, 1]")
+        if min_latency < 0 or max_latency < min_latency:
+            raise ValueError("latencies must satisfy 0 <= min <= max")
+        self._rng = rng
+        self.drop_probability = drop_probability
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self._queue: List[Tuple[float, int, Message]] = []
+        self._tiebreak = itertools.count()
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+
+    def send(self, message: Message, now: float) -> Optional[float]:
+        """Send ``message`` at simulated time ``now``.
+
+        Returns the scheduled delivery time, or ``None`` when the message was
+        dropped.  Loopback messages are never dropped.
+        """
+        self.sent += 1
+        is_loopback = message.src == message.dest
+        if not is_loopback and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return None
+        latency = self._rng.uniform(self.min_latency, self.max_latency)
+        deliver_at = now + latency
+        heapq.heappush(self._queue, (deliver_at, next(self._tiebreak), message))
+        return deliver_at
+
+    def next_delivery_time(self) -> Optional[float]:
+        """Simulated time of the earliest pending delivery, if any."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def pop_due(self, now: float) -> Optional[Message]:
+        """Pop the earliest message whose delivery time has arrived."""
+        if self._queue and self._queue[0][0] <= now:
+            _, _, message = heapq.heappop(self._queue)
+            self.delivered += 1
+            return message
+        return None
+
+    def pending(self) -> int:
+        """Number of in-flight (scheduled, undelivered) messages."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"LossyNetwork(sent={self.sent}, dropped={self.dropped}, "
+            f"delivered={self.delivered}, pending={self.pending()})"
+        )

@@ -1,0 +1,42 @@
+"""Online model checking: live runs, drivers, snapshots, restart loop (§3.3)."""
+
+from repro.online.crystalball import (
+    OnlineCheckResult,
+    OnlineModelChecker,
+    RestartRecord,
+)
+from repro.online.driver import (
+    ImmediateDriver,
+    LiveDriver,
+    Rule,
+    RuleDriver,
+    SelectiveDriver,
+    onepaxos_online_driver,
+    paxos_online_driver,
+)
+from repro.online.injector import (
+    FreshIndexInjector,
+    OnePaxosTestDriver,
+    PaxosTestDriver,
+    scan_indexes,
+)
+from repro.online.simulator import LiveRun, TraceEntry
+
+__all__ = [
+    "ImmediateDriver",
+    "LiveDriver",
+    "LiveRun",
+    "OnlineCheckResult",
+    "OnlineModelChecker",
+    "FreshIndexInjector",
+    "OnePaxosTestDriver",
+    "PaxosTestDriver",
+    "RestartRecord",
+    "Rule",
+    "RuleDriver",
+    "SelectiveDriver",
+    "TraceEntry",
+    "scan_indexes",
+    "onepaxos_online_driver",
+    "paxos_online_driver",
+]

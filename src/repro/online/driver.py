@@ -1,0 +1,147 @@
+"""Live-run drivers: when nodes fire their internal actions.
+
+The protocols expose *which* internal actions are enabled; a driver decides
+*when* the live system executes them — the application behaviour of the
+paper's online experiments:
+
+* §5.5: "each node proposes its Id for a new index and then sleeps for a
+  random time between 0 and 60 s" → a uniform-delay rule on ``propose``;
+* §5.6: "the application instead of proposing a value triggers the fault
+  detector with the probability of 0.1" → a probabilistic rule on
+  ``suspect``.
+
+Probabilistic firing is modelled with a geometric distribution: an action
+polled every ``period`` seconds and fired with probability ``p`` per poll
+fires after ``period × Geometric(p)`` seconds, so one scheduling decision
+captures the whole retry loop.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.model.types import Action
+
+
+class LiveDriver(ABC):
+    """Decides the firing delay of an enabled internal action.
+
+    ``schedule`` returns the delay (in simulated seconds) after which the
+    action should fire, or ``None`` to never fire it.  The simulator asks
+    once per (node, action) while the action stays enabled.
+    """
+
+    @abstractmethod
+    def schedule(
+        self, action: Action, now: float, rng: random.Random
+    ) -> Optional[float]:
+        """Delay before firing ``action``, or None to suppress it."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Scheduling policy for one action name.
+
+    The fire delay is ``uniform(min_delay, max_delay)``; when
+    ``probability < 1`` the delay additionally includes ``period`` seconds
+    per failed poll, geometrically distributed.
+    """
+
+    min_delay: float = 0.0
+    max_delay: float = 0.0
+    probability: float = 1.0
+    period: float = 1.0
+
+    def sample_delay(self, rng: random.Random) -> Optional[float]:
+        """One concrete delay drawn from this rule."""
+        if self.probability <= 0.0:
+            return None
+        delay = rng.uniform(self.min_delay, self.max_delay)
+        if self.probability < 1.0:
+            # Geometric number of failed polls before the success.
+            failures = math.floor(
+                math.log(max(rng.random(), 1e-12))
+                / math.log(1.0 - self.probability)
+            )
+            delay += failures * self.period
+        return delay
+
+
+class RuleDriver(LiveDriver):
+    """Per-action-name rules with a default.
+
+    Unlisted actions use ``default`` (immediate fire when None is not
+    given); pass ``default=None`` to suppress unlisted actions entirely.
+    """
+
+    def __init__(
+        self,
+        rules: Dict[str, Rule],
+        default: Optional[Rule] = Rule(),
+    ):
+        self.rules = dict(rules)
+        self.default = default
+
+    def schedule(
+        self, action: Action, now: float, rng: random.Random
+    ) -> Optional[float]:
+        rule = self.rules.get(action.name, self.default)
+        if rule is None:
+            return None
+        return rule.sample_delay(rng)
+
+
+def paxos_online_driver(max_sleep: float = 60.0) -> RuleDriver:
+    """The §5.5 application: init promptly, propose then sleep U(0, max_sleep)."""
+    return RuleDriver(
+        {
+            "init": Rule(min_delay=0.0, max_delay=1.0),
+            "propose": Rule(min_delay=0.0, max_delay=max_sleep),
+            "retry": Rule(min_delay=2.0, max_delay=10.0),
+        }
+    )
+
+
+def onepaxos_online_driver(
+    suspect_probability: float = 0.1, poll_period: float = 5.0
+) -> RuleDriver:
+    """The §5.6 application: fault detector fires with probability 0.1."""
+    return RuleDriver(
+        {
+            "init": Rule(min_delay=0.0, max_delay=1.0),
+            "propose": Rule(min_delay=0.0, max_delay=10.0),
+            "suspect": Rule(
+                min_delay=0.0,
+                max_delay=poll_period,
+                probability=suspect_probability,
+                period=poll_period,
+            ),
+            "retry1": Rule(min_delay=2.0, max_delay=8.0),
+            "util-retry": Rule(min_delay=2.0, max_delay=8.0),
+        }
+    )
+
+
+class ImmediateDriver(LiveDriver):
+    """Fire every enabled action immediately (deterministic fast-forward)."""
+
+    def schedule(
+        self, action: Action, now: float, rng: random.Random
+    ) -> Optional[float]:
+        return 0.0
+
+
+class SelectiveDriver(LiveDriver):
+    """Fire only the listed action names, immediately; suppress the rest."""
+
+    def __init__(self, names: Sequence[str]):
+        self.names = frozenset(names)
+
+    def schedule(
+        self, action: Action, now: float, rng: random.Random
+    ) -> Optional[float]:
+        return 0.0 if action.name in self.names else None

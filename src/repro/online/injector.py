@@ -1,0 +1,240 @@
+"""Test drivers for the Paxos online experiments (§4.2 "Test driver", §5.5).
+
+Two distinct drivers are at work in the paper's setup:
+
+* **The live application** — "each node proposes its Id for a new index and
+  then sleeps for a random time between 0 and 60 s".  The live app never
+  contends: every proposal targets a fresh index.
+  :class:`FreshIndexInjector` reproduces it as an interval hook on the live
+  run.
+
+* **The model checker's test driver** — "the test driver proposes values
+  for a particular index.  The index is selected from recent chosen
+  proposals, where not all the nodes have learned the proposal yet.
+  Otherwise, a new index is used."  Contention — the thing that triggers the
+  §5.5 bug — is *injected by the checker*, not observed live.
+  :class:`PaxosTestDriver` transforms a live snapshot into the driven
+  initial state the checker explores: eligible nodes get a pending proposal
+  for the selected index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Set, Tuple
+
+from repro.model.system_state import SystemState
+from repro.model.types import Action, NodeId
+from repro.online.simulator import LiveRun
+from repro.protocols.common import tm_keys
+from repro.protocols.paxos.state import PaxosNodeState
+
+
+def _chosen_indexes(state: PaxosNodeState) -> Set[int]:
+    return {
+        index
+        for index in tm_keys(state.learners)
+        if state.chosen_value(index) is not None
+    }
+
+
+def _known_indexes(state: PaxosNodeState) -> Set[int]:
+    return (
+        set(tm_keys(state.learners))
+        | set(tm_keys(state.acceptors))
+        | set(tm_keys(state.proposers))
+        | {index for index, _value in state.pending}
+    )
+
+
+def scan_indexes(snapshot: SystemState) -> Tuple[Set[int], int]:
+    """``(half-learned indexes, max known index)`` of a snapshot.
+
+    An index is *half-learned* when some node has chosen a value for it but
+    not all nodes have — "recent chosen proposals, where not all the nodes
+    have learned the proposal yet".
+    """
+    chosen_somewhere: Set[int] = set()
+    chosen_everywhere: Optional[Set[int]] = None
+    max_index = -1
+    for _node, state in snapshot.items():
+        node_chosen = _chosen_indexes(state)
+        chosen_somewhere |= node_chosen
+        if chosen_everywhere is None:
+            chosen_everywhere = set(node_chosen)
+        else:
+            chosen_everywhere &= node_chosen
+        known = _known_indexes(state)
+        if known:
+            max_index = max(max_index, max(known))
+    half_learned = chosen_somewhere - (chosen_everywhere or set())
+    return half_learned, max_index
+
+
+class FreshIndexInjector:
+    """Live application behaviour: propose the node's id at a new index.
+
+    Called as an online-checking interval hook; injects one application call
+    per interval, round-robin over the nodes, always at a fresh index.
+    """
+
+    def __init__(self, value_prefix: str = "v"):
+        self.value_prefix = value_prefix
+        self._next_proposer = 0
+
+    def __call__(self, live: LiveRun) -> None:
+        snapshot = live.snapshot()
+        node_ids = snapshot.node_ids
+        node = node_ids[self._next_proposer % len(node_ids)]
+        self._next_proposer += 1
+        _half, max_index = scan_indexes(snapshot)
+        action = Action(
+            node=node,
+            name="inject",
+            payload=(max_index + 1, f"{self.value_prefix}{node}"),
+        )
+        live.inject_action(action)
+
+
+class PaxosTestDriver:
+    """The checker-side test driver: contend on a half-learned index.
+
+    ``drive(snapshot)`` returns the initial state the checker should explore:
+    one node that has not yet proposed at the selected index receives a
+    pending proposal of its own value there — the highest-id eligible node,
+    whose ballot dominates every first-round ballot, so its proposition is
+    never silently rejected.  A single contender keeps the checker's state
+    space at the one-extra-proposal size (§5.1) instead of the multi-proposal
+    explosion of §5.2 — the "careful design of the test driver" trade-off.
+    When no half-learned index exists, a fresh-index proposal is added
+    instead (round-robin), so the checker always has something to exercise.
+    """
+
+    def __init__(self, value_prefix: str = "v"):
+        self.value_prefix = value_prefix
+        self._next_proposer = 0
+
+    def drive(self, snapshot: SystemState) -> SystemState:
+        half_learned, max_index = scan_indexes(snapshot)
+        if half_learned:
+            index = self._select_contended_index(snapshot, half_learned)
+            eligible = [
+                node
+                for node, state in snapshot.items()
+                if self._eligible(state, index)
+            ]
+            if eligible:
+                contender = max(eligible)
+                driven = dict(snapshot.items())
+                state = driven[contender]
+                driven[contender] = replace(
+                    state,
+                    pending=state.pending
+                    + ((index, f"{self.value_prefix}{contender}"),),
+                )
+                return SystemState(driven)
+        node_ids = snapshot.node_ids
+        proposer = node_ids[self._next_proposer % len(node_ids)]
+        self._next_proposer += 1
+        driven = dict(snapshot.items())
+        state = driven[proposer]
+        driven[proposer] = replace(
+            state,
+            pending=state.pending
+            + ((max_index + 1, f"{self.value_prefix}{proposer}"),),
+        )
+        return SystemState(driven)
+
+    @staticmethod
+    def _eligible(state: PaxosNodeState, index: int) -> bool:
+        if state.proposer(index) is not None:
+            return False
+        return all(pending_index != index for pending_index, _v in state.pending)
+
+    @staticmethod
+    def _select_contended_index(snapshot: SystemState, half_learned: Set[int]) -> int:
+        """Choose which half-learned index to contend on.
+
+        "Recent chosen proposals" (§4.2): prefer the most recent index, and
+        among the candidates prefer one where some acceptor has not yet
+        accepted — an acceptor whose empty PrepareResponse is what makes the
+        proposal races interesting.  This is the "careful design of the test
+        driver" the paper says greatly impacts checking efficiency.
+        """
+        with_fresh_acceptor = {
+            index
+            for index in half_learned
+            if any(
+                state.acceptor(index).accepted_value is None
+                for _node, state in snapshot.items()
+            )
+        }
+        if with_fresh_acceptor:
+            return max(with_fresh_acceptor)
+        return max(half_learned)
+
+
+class OnePaxosTestDriver:
+    """Checker-side test driver for the §5.6 online experiment.
+
+    1Paxos proposals are only issued by nodes that believe they lead, so the
+    driver targets exactly the paper's scenario: a *half-chosen* data index
+    (some nodes chose, others missed the Learn) is offered to a node that
+    believes itself leader and has no value for it — the stale
+    leader-by-initialization whose buggy cached acceptor then produces the
+    divergent choice.  Without such an index, the current believed leader
+    gets a fresh-index proposal, keeping the session productive.
+    """
+
+    def __init__(self, value_prefix: str = "w"):
+        self.value_prefix = value_prefix
+
+    def drive(self, snapshot: SystemState) -> SystemState:
+        chosen_somewhere: Set[int] = set()
+        chosen_everywhere: Optional[Set[int]] = None
+        max_index = -1
+        for _node, state in snapshot.items():
+            node_chosen = {index for index, _v in state.chosen1}
+            chosen_somewhere |= node_chosen
+            if chosen_everywhere is None:
+                chosen_everywhere = set(node_chosen)
+            else:
+                chosen_everywhere &= node_chosen
+            for index, _v in state.accepted1:
+                max_index = max(max_index, index)
+            for index in node_chosen:
+                max_index = max(max_index, index)
+        half_chosen = chosen_somewhere - (chosen_everywhere or set())
+        driven = dict(snapshot.items())
+        self_leaders = [
+            node
+            for node, state in snapshot.items()
+            if state.believed_leader() == node
+        ]
+        for index in sorted(half_chosen, reverse=True):
+            for node in self_leaders:
+                state = snapshot.get(node)
+                if state.chosen_value(index) is None and all(
+                    p_index != index for p_index, _v in state.pending
+                ):
+                    driven[node] = replace(
+                        state,
+                        pending=state.pending
+                        + ((index, f"{self.value_prefix}{node}"),),
+                    )
+                    return SystemState(driven)
+        # No half-chosen target: propose a fresh index on behalf of EVERY
+        # node that believes itself leader.  After a partially observed
+        # LeaderChange two such nodes coexist (the stale
+        # leader-by-initialization and the utility-elected one) — driving
+        # both onto the same index is exactly the contention the buggy
+        # cached acceptor turns into divergent choices.
+        for node in self_leaders:
+            state = driven[node]
+            driven[node] = replace(
+                state,
+                pending=state.pending
+                + ((max_index + 1, f"{self.value_prefix}{node}"),),
+            )
+        return SystemState(driven)
+

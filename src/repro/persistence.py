@@ -1,0 +1,221 @@
+"""Serialization of bug reports: a regression corpus for found bugs.
+
+Online model checking produces witnesses worth keeping: a bug found at
+3 a.m. against a live system should become a permanent regression fixture.
+This module round-trips :class:`~repro.reports.BugReport` objects through
+plain JSON-compatible dictionaries.
+
+Model values (states, payloads) are frozen dataclasses over a closed
+vocabulary (primitives, tuples, frozensets, nested dataclasses), so they
+serialize structurally with a class tag and deserialize through a
+*registry* of allowed dataclasses — the protocol module(s) under test.
+Deserialization never executes arbitrary content: unknown class tags are
+an error, not an import.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Iterable, List, Tuple, Type
+
+from repro.model.events import DeliveryEvent, Event, InternalEvent
+from repro.model.system_state import SystemState
+from repro.model.types import Action, Message
+from repro.reports import BugReport
+
+
+class UnknownClassTag(ValueError):
+    """A serialized value names a dataclass missing from the registry."""
+
+
+class ClassRegistry:
+    """The closed set of dataclasses a corpus may contain.
+
+    Build one from the protocol modules whose states and payloads appear in
+    your reports: ``ClassRegistry.from_modules(repro.protocols.paxos.state,
+    repro.protocols.paxos.messages)``.
+    """
+
+    def __init__(self, classes: Iterable[Type] = ()):
+        self._by_tag: Dict[str, Type] = {}
+        for cls in classes:
+            self.add(cls)
+
+    def add(self, cls: Type) -> None:
+        """Register one frozen dataclass."""
+        if not dataclasses.is_dataclass(cls):
+            raise TypeError(f"{cls!r} is not a dataclass")
+        self._by_tag[cls.__qualname__] = cls
+
+    @classmethod
+    def from_modules(cls, *modules) -> "ClassRegistry":
+        """Register every dataclass defined in the given modules."""
+        registry = cls()
+        for module in modules:
+            for name in dir(module):
+                obj = getattr(module, name)
+                if (
+                    isinstance(obj, type)
+                    and dataclasses.is_dataclass(obj)
+                    and obj.__module__ == module.__name__
+                ):
+                    registry.add(obj)
+        return registry
+
+    def resolve(self, tag: str) -> Type:
+        """The dataclass registered under ``tag``."""
+        try:
+            return self._by_tag[tag]
+        except KeyError:
+            raise UnknownClassTag(f"class tag {tag!r} not in registry") from None
+
+
+# -- value encoding --------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a model value into JSON-compatible structures."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        from repro.model.hashing import canonical_bytes
+
+        items = sorted(value, key=canonical_bytes)
+        return {"__frozenset__": [encode_value(item) for item in items]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            field.name: encode_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__qualname__, "fields": fields}
+    raise TypeError(f"cannot encode model value of type {type(value).__name__}")
+
+
+def decode_value(encoded: Any, registry: ClassRegistry) -> Any:
+    """Decode a value produced by :func:`encode_value`."""
+    if encoded is None or isinstance(encoded, (bool, int, str)):
+        return encoded
+    if isinstance(encoded, dict):
+        if "__float__" in encoded:
+            return float(encoded["__float__"])
+        if "__tuple__" in encoded:
+            return tuple(
+                decode_value(item, registry) for item in encoded["__tuple__"]
+            )
+        if "__frozenset__" in encoded:
+            return frozenset(
+                decode_value(item, registry) for item in encoded["__frozenset__"]
+            )
+        if "__dataclass__" in encoded:
+            cls = registry.resolve(encoded["__dataclass__"])
+            fields = {
+                name: decode_value(item, registry)
+                for name, item in encoded["fields"].items()
+            }
+            return cls(**fields)
+    raise ValueError(f"malformed encoded value: {encoded!r}")
+
+
+# -- events and states ---------------------------------------------------------------
+
+
+def encode_event(event: Event) -> Dict[str, Any]:
+    """Encode a delivery or internal event."""
+    if isinstance(event, DeliveryEvent):
+        message = event.message
+        return {
+            "kind": "deliver",
+            "dest": message.dest,
+            "src": message.src,
+            "payload": encode_value(message.payload),
+        }
+    if isinstance(event, InternalEvent):
+        action = event.action
+        return {
+            "kind": "action",
+            "node": action.node,
+            "name": action.name,
+            "payload": encode_value(action.payload),
+        }
+    raise TypeError(f"unknown event type {type(event).__name__}")
+
+
+def decode_event(encoded: Dict[str, Any], registry: ClassRegistry) -> Event:
+    """Decode an event produced by :func:`encode_event`."""
+    if encoded["kind"] == "deliver":
+        return DeliveryEvent(
+            Message(
+                dest=encoded["dest"],
+                src=encoded["src"],
+                payload=decode_value(encoded["payload"], registry),
+            )
+        )
+    if encoded["kind"] == "action":
+        return InternalEvent(
+            Action(
+                node=encoded["node"],
+                name=encoded["name"],
+                payload=decode_value(encoded["payload"], registry),
+            )
+        )
+    raise ValueError(f"unknown event kind {encoded.get('kind')!r}")
+
+
+def encode_system_state(system: SystemState) -> List[Tuple[int, Any]]:
+    """Encode a system state as ``[node, state]`` pairs."""
+    return [[node, encode_value(state)] for node, state in system.items()]
+
+
+def decode_system_state(
+    encoded: List[Tuple[int, Any]], registry: ClassRegistry
+) -> SystemState:
+    """Decode a system state produced by :func:`encode_system_state`."""
+    return SystemState(
+        {node: decode_value(state, registry) for node, state in encoded}
+    )
+
+
+# -- bug reports ----------------------------------------------------------------------
+
+
+def bug_to_dict(bug: BugReport) -> Dict[str, Any]:
+    """Encode a bug report into a JSON-compatible dictionary."""
+    return {
+        "kind": bug.kind,
+        "description": bug.description,
+        "violating_state": encode_system_state(bug.violating_state),
+        "initial_state": encode_system_state(bug.initial_state),
+        "trace": [encode_event(event) for event in bug.trace],
+    }
+
+
+def bug_from_dict(data: Dict[str, Any], registry: ClassRegistry) -> BugReport:
+    """Decode a bug report produced by :func:`bug_to_dict`."""
+    return BugReport(
+        kind=data["kind"],
+        description=data["description"],
+        violating_state=decode_system_state(data["violating_state"], registry),
+        initial_state=decode_system_state(data["initial_state"], registry),
+        trace=tuple(decode_event(item, registry) for item in data["trace"]),
+    )
+
+
+def save_bugs(path: str, bugs: Iterable[BugReport]) -> None:
+    """Write a bug corpus to ``path`` as JSON."""
+    payload = {"version": 1, "bugs": [bug_to_dict(bug) for bug in bugs]}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_bugs(path: str, registry: ClassRegistry) -> List[BugReport]:
+    """Read a bug corpus written by :func:`save_bugs`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != 1:
+        raise ValueError(f"unsupported corpus version {payload.get('version')!r}")
+    return [bug_from_dict(item, registry) for item in payload["bugs"]]

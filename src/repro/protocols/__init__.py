@@ -1,0 +1,1 @@
+"""Protocols under test: every system the paper checks or mentions."""

@@ -1,0 +1,104 @@
+"""A forwarding chain: the §4.3 counter-example workload.
+
+"We could not expect much from LMC in a chain system in which each node
+simply forwards the input message to the next."  Every message depends on
+the previous one, so there is no parallel network activity for LMC to
+exploit: the global state space is itself linear, and eliminating the
+network saves almost nothing.  The chattiness ablation bench runs LMC and
+B-DFS on this protocol to show exactly that.
+
+Node 0 starts a token (internal action); node ``i`` stamps itself and
+forwards to ``i+1``; the last node keeps the token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.invariants.base import Invariant
+from repro.model.protocol import Protocol, ProtocolConfigError
+from repro.model.system_state import SystemState
+from repro.model.types import Action, HandlerResult, Message, NodeId
+
+
+@dataclass(frozen=True)
+class Token:
+    """The forwarded token; ``hops`` counts nodes traversed so far."""
+
+    hops: int
+
+
+@dataclass(frozen=True)
+class ChainNodeState:
+    """Local state: whether this node has seen the token, and its hop stamp."""
+
+    node: NodeId
+    seen: bool = False
+    hops_when_seen: Optional[int] = None
+
+
+class ChainProtocol(Protocol):
+    """Token forwarding along nodes ``0 .. num_nodes-1``."""
+
+    name = "chain"
+
+    def __init__(self, num_nodes: int = 5):
+        if num_nodes < 2:
+            raise ProtocolConfigError("chain needs at least two nodes")
+        self._node_ids = tuple(range(num_nodes))
+
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        return self._node_ids
+
+    def initial_state(self, node: NodeId) -> ChainNodeState:
+        return ChainNodeState(node=node)
+
+    def enabled_actions(self, state: ChainNodeState) -> Tuple[Action, ...]:
+        if state.node == 0 and not state.seen:
+            return (Action(node=0, name="start"),)
+        return ()
+
+    def handle_action(self, state: ChainNodeState, action: Action) -> HandlerResult:
+        if action.name != "start" or state.seen:
+            return HandlerResult(state)
+        new_state = replace(state, seen=True, hops_when_seen=0)
+        return HandlerResult(new_state, self._forward(0, hops=1))
+
+    def handle_message(self, state: ChainNodeState, message: Message) -> HandlerResult:
+        if not isinstance(message.payload, Token) or state.seen:
+            return HandlerResult(state)
+        token = message.payload
+        new_state = replace(state, seen=True, hops_when_seen=token.hops)
+        return HandlerResult(
+            new_state, self._forward(state.node, hops=token.hops + 1)
+        )
+
+    def _forward(self, node: NodeId, hops: int) -> Tuple[Message, ...]:
+        nxt = node + 1
+        if nxt >= len(self._node_ids):
+            return ()
+        return (Message(dest=nxt, src=node, payload=Token(hops=hops)),)
+
+
+class ChainOrder(Invariant):
+    """A node may only have seen the token if its predecessor has.
+
+    Holds in every real run; LMC's Cartesian combinations violate it freely
+    (downstream-seen with upstream-unseen), making the chain a stress test
+    for soundness rejection of invalid states.
+    """
+
+    name = "chain-order"
+
+    def check(self, system: SystemState) -> bool:
+        previous_seen = True
+        for _node, state in system.items():
+            if state.seen and not previous_seen:
+                return False
+            previous_seen = state.seen
+        return True
+
+    def describe_violation(self, system: SystemState) -> str:
+        seen = [node for node, state in system.items() if state.seen]
+        return f"chain order violated: seen set {seen} has a gap"

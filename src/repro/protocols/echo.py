@@ -1,0 +1,127 @@
+"""Echo broadcast: a maximally chatty workload.
+
+LMC "is most effective for the protocols that are chatty, i.e., exchange
+lots of messages to service a request" and with "parallel network
+activities" (§4.3) — the Accept/Learn broadcasts in Paxos being the paper's
+example.  This little protocol distils that structure: an initiator pings
+every node; every node answers every ping with a pong to *all* nodes; nodes
+count the pongs they see.  All pings and pongs are causally independent, so
+the global state space branches factorially while the per-node state spaces
+stay tiny — the best case for LMC, used as the chatty end of the
+chattiness-ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Tuple
+
+from repro.invariants.base import Invariant
+from repro.model.protocol import Protocol, ProtocolConfigError, broadcast
+from repro.model.system_state import SystemState
+from repro.model.types import Action, HandlerResult, Message, NodeId
+
+
+@dataclass(frozen=True)
+class Ping:
+    """The initiator's broadcast request."""
+
+
+@dataclass(frozen=True)
+class Pong:
+    """A node's reply to a ping, broadcast to everyone; ``origin`` sent it."""
+
+    origin: NodeId
+
+
+@dataclass(frozen=True)
+class EchoNodeState:
+    """Local state: whether we pinged/ponged, and whose pongs we saw."""
+
+    node: NodeId
+    pinged: bool = False
+    ponged: bool = False
+    pongs_seen: FrozenSet[NodeId] = frozenset()
+
+
+class EchoProtocol(Protocol):
+    """One initiator, all-to-all pongs."""
+
+    name = "echo"
+
+    def __init__(self, num_nodes: int = 3, initiator: NodeId = 0):
+        if num_nodes < 2:
+            raise ProtocolConfigError("echo needs at least two nodes")
+        self._node_ids = tuple(range(num_nodes))
+        if initiator not in self._node_ids:
+            raise ProtocolConfigError(f"initiator {initiator} not a node")
+        self.initiator = initiator
+
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        return self._node_ids
+
+    def initial_state(self, node: NodeId) -> EchoNodeState:
+        return EchoNodeState(node=node)
+
+    def enabled_actions(self, state: EchoNodeState) -> Tuple[Action, ...]:
+        if state.node == self.initiator and not state.pinged:
+            return (Action(node=state.node, name="ping"),)
+        return ()
+
+    def handle_action(self, state: EchoNodeState, action: Action) -> HandlerResult:
+        if action.name != "ping" or state.pinged:
+            return HandlerResult(state)
+        return HandlerResult(
+            replace(state, pinged=True),
+            broadcast(state.node, self._node_ids, Ping()),
+        )
+
+    def handle_message(self, state: EchoNodeState, message: Message) -> HandlerResult:
+        payload = message.payload
+        if isinstance(payload, Ping):
+            if state.ponged:
+                return HandlerResult(state)
+            return HandlerResult(
+                replace(state, ponged=True),
+                broadcast(state.node, self._node_ids, Pong(origin=state.node)),
+            )
+        if isinstance(payload, Pong):
+            if payload.origin in state.pongs_seen:
+                return HandlerResult(state)
+            return HandlerResult(
+                replace(state, pongs_seen=state.pongs_seen | {payload.origin})
+            )
+        return HandlerResult(state)
+
+
+class PongsImplyPing(Invariant):
+    """Nobody observes a pong unless the initiator has pinged.
+
+    True of every real run; violated by Cartesian combinations in which an
+    observer's state outruns the initiator's — the echo counterpart of the
+    tree primer's ``----r``.
+    """
+
+    name = "pongs-imply-ping"
+
+    def __init__(self, initiator: NodeId = 0):
+        self.initiator = initiator
+
+    def check(self, system: SystemState) -> bool:
+        if system.get(self.initiator).pinged:
+            return True
+        return all(
+            not state.pongs_seen and not state.ponged
+            for _node, state in system.items()
+        )
+
+    def describe_violation(self, system: SystemState) -> str:
+        observers = [
+            node
+            for node, state in system.items()
+            if state.pongs_seen or state.ponged
+        ]
+        return (
+            f"pong activity at nodes {observers} although initiator "
+            f"{self.initiator} has not pinged"
+        )

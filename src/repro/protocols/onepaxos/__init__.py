@@ -1,0 +1,33 @@
+"""1Paxos: the single-acceptor Multi-Paxos variant of §5.6, with PaxosUtility."""
+
+from repro.protocols.onepaxos.invariant import (
+    OnePaxosAgreement,
+    OnePaxosAgreementAll,
+    SingleActiveRoles,
+)
+from repro.protocols.onepaxos.messages import (
+    Learn1,
+    Propose1,
+    Util,
+    Value,
+    acceptor_entry,
+    leader_entry,
+    parse_entry,
+)
+from repro.protocols.onepaxos.protocol import OnePaxosProtocol
+from repro.protocols.onepaxos.state import OnePaxosNodeState
+
+__all__ = [
+    "Learn1",
+    "OnePaxosAgreement",
+    "OnePaxosAgreementAll",
+    "OnePaxosNodeState",
+    "OnePaxosProtocol",
+    "Propose1",
+    "SingleActiveRoles",
+    "Util",
+    "Value",
+    "acceptor_entry",
+    "leader_entry",
+    "parse_entry",
+]

@@ -1,0 +1,74 @@
+"""1Paxos wire messages.
+
+1Paxos [15] is "an efficient variation of Multi-Paxos that uses only one
+acceptor": the leader sends its proposal straight to the active acceptor
+(**Propose1**); acceptance by the single acceptor *is* choice, announced to
+everyone with **Learn1**.  Configuration — who is the global leader and who
+the active acceptor — lives in a separate consensus service, PaxosUtility,
+which this reproduction implements (as the paper did) with Paxos itself;
+utility traffic travels in the :class:`Util` envelope wrapping ordinary
+Paxos payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.model.types import NodeId
+
+#: Data-plane values, matching the Paxos value type.
+Value = str
+
+
+@dataclass(frozen=True)
+class Propose1:
+    """Leader → active acceptor: propose ``value`` for decree ``index``."""
+
+    index: int
+    value: Value
+
+
+@dataclass(frozen=True)
+class Learn1:
+    """Acceptor → everyone: ``value`` is chosen for ``index``.
+
+    With a single active acceptor, acceptance is choice; re-proposals for an
+    already-decided index are answered by re-sending this message (the
+    "Chosen message ... sent over and over" of §4.2).
+    """
+
+    index: int
+    value: Value
+
+
+@dataclass(frozen=True)
+class Util:
+    """Envelope for PaxosUtility traffic: wraps an inner Paxos payload."""
+
+    inner: Any
+
+
+def leader_entry(node: NodeId) -> Value:
+    """The utility log value recording a LeaderChange to ``node``."""
+    return f"leader={node}"
+
+
+def acceptor_entry(node: NodeId) -> Value:
+    """The utility log value recording an AcceptorChange to ``node``."""
+    return f"acceptor={node}"
+
+
+def parse_entry(value: Value) -> tuple:
+    """Parse a utility log value into ``(kind, node)``.
+
+    Unknown values parse as ``("unknown", -1)`` — the configuration scan
+    simply skips them, so garbage in the utility log cannot crash a node.
+    """
+    for kind in ("leader", "acceptor"):
+        prefix = kind + "="
+        if value.startswith(prefix):
+            suffix = value[len(prefix):]
+            if suffix.isdigit():
+                return (kind, int(suffix))
+    return ("unknown", -1)

@@ -1,0 +1,101 @@
+"""The §5.6 live snapshot for the 1Paxos experiment.
+
+The paper's narrative, translated to our node numbering (N1, N2, N3 of the
+paper = nodes 0, 1, 2):
+
+"During the live run, node N3 [2] attempts to be the leader by inserting a
+LeaderChange entry into the PaxosUtility.  At this moment, it obtains from
+the PaxosUtility the correct value of the active acceptor, which is N2 [1].
+After N3 becomes leader, it proposes value v3 for index ki, which is
+accepted by the acceptor, i.e., N2.  N2 then broadcasts a Learn message,
+which is received by N3 as well as itself.  At this point the live system
+state, in which all nodes except N1 [0] have chosen value v3 for the index
+ki, is taken to be used by LMC."
+
+Node 0 missed everything (message losses) and still has a pending proposal
+of its own — the node whose buggy cached acceptor (itself) produces the
+divergent choice LMC then uncovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.model.system_state import SystemState
+from repro.protocols.onepaxos.messages import leader_entry
+from repro.protocols.onepaxos.protocol import OnePaxosProtocol
+from repro.protocols.paxos.messages import Ballot
+from repro.protocols.paxos.state import (
+    AcceptorSlot,
+    LearnerSlot,
+    PromiseInfo,
+    ProposerSlot,
+)
+
+
+def scenario_protocol(buggy: bool) -> OnePaxosProtocol:
+    """Protocol configuration for the §5.6 snapshot.
+
+    Node 0 has a pending data proposal (it still believes it is the leader
+    from initialization); no further fault suspects are armed — the
+    LeaderChange to node 2 already happened before the snapshot.
+    """
+    return OnePaxosProtocol(
+        num_nodes=3,
+        proposals=((0, 0, "v0"),),
+        fault_suspects=(),
+        buggy_init=buggy,
+        require_init=False,
+    )
+
+
+def post_leaderchange_state(protocol: OnePaxosProtocol) -> SystemState:
+    """The live snapshot described in the module docstring.
+
+    The PaxosUtility sub-states record the chosen ``leader=2`` entry at
+    utility index 0 on nodes 1 and 2 (node 0 missed the Learn quorum); the
+    data plane records ``v2`` chosen at index 0 on nodes 1 and 2, accepted
+    by the active acceptor node 1.
+    """
+    entry = leader_entry(2)
+    ballot = Ballot(1, 2)
+    accepted = AcceptorSlot(
+        promised=ballot, accepted_ballot=ballot, accepted_value=entry
+    )
+    learner = LearnerSlot(
+        learns=frozenset({(1, ballot, entry), (2, ballot, entry)}),
+        chosen=entry,
+    )
+
+    base0 = protocol.initial_state(0)
+    base1 = protocol.initial_state(1)
+    base2 = protocol.initial_state(2)
+
+    # Node 0: saw nothing; still leader-by-initialization with its pending
+    # proposal and the (possibly buggy) cached acceptor.
+    node0 = replace(base0, initialized=True)
+
+    # Node 1 (the true active acceptor): utility entry chosen; accepted and
+    # chose the data value v2.
+    utility1 = base1.utility.with_acceptor(0, accepted).with_learner(0, learner)
+    node1 = replace(base1, initialized=True, utility=utility1)
+    node1 = node1.with_accepted(0, "v2").with_chosen(0, "v2")
+
+    # Node 2 (the new leader): proposed the LeaderChange, saw it chosen,
+    # proposed v2 and chose it.
+    responses = (
+        PromiseInfo(src=1, accepted_ballot=None, accepted_value=None),
+        PromiseInfo(src=2, accepted_ballot=None, accepted_value=None),
+    )
+    proposer2 = ProposerSlot(
+        ballot=ballot, value=entry, phase="accepting", responses=responses
+    )
+    utility2 = (
+        base2.utility.with_proposer(0, proposer2)
+        .with_acceptor(0, accepted)
+        .with_learner(0, learner)
+    )
+    node2 = replace(base2, initialized=True, utility=utility2)
+    node2 = node2.with_chosen(0, "v2")
+
+    return SystemState({0: node0, 1: node1, 2: node2})

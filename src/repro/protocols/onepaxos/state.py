@@ -1,0 +1,124 @@
+"""Immutable per-node 1Paxos state, with the embedded PaxosUtility layer.
+
+This is the "multi-layer service" the paper's prototype needed whole-stack
+(de)serialization for (§4.2): the node state *contains* the node's state in
+the lower-layer Paxos instance that implements PaxosUtility.  Because both
+layers are frozen dataclasses, content hashing, predecessor replay and the
+monotonic network all work across layers for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.model.types import NodeId
+from repro.protocols.common import TupleMap, tm_get, tm_keys, tm_set
+from repro.protocols.onepaxos.messages import Value, parse_entry
+from repro.protocols.paxos.state import PaxosNodeState
+
+
+@dataclass(frozen=True)
+class OnePaxosNodeState:
+    """Complete local state of a 1Paxos node.
+
+    ``cached_leader``/``cached_acceptor`` are the values written by the
+    initialization function — the home of the §5.6 postfix-``++`` bug (the
+    buggy build caches the *first* member as acceptor, i.e. the leader
+    itself).  ``utility`` is the node's state in the PaxosUtility instance;
+    the node's *believed* configuration is derived from the utility log,
+    falling back to the cached values exactly the way the paper describes.
+    """
+
+    node: NodeId
+    initialized: bool = False
+    pending: Tuple[Tuple[int, Value], ...] = ()
+    suspect_armed: bool = False
+    cached_leader: NodeId = 0
+    cached_acceptor: NodeId = 0
+    accepted1: TupleMap = ()  # acceptor role: index -> value
+    chosen1: TupleMap = ()  # learner role: index -> value
+    #: Data-plane proposals issued but not yet observed chosen — the basis
+    #: of retransmission over lossy networks (retired on the local Learn1).
+    proposed1: TupleMap = ()
+    utility: PaxosNodeState = PaxosNodeState(node=-1)
+
+    # -- data plane accessors ----------------------------------------------
+
+    def accepted_value(self, index: int) -> Optional[Value]:
+        """Value this node's acceptor role accepted for ``index``."""
+        return tm_get(self.accepted1, index)
+
+    def chosen_value(self, index: int) -> Optional[Value]:
+        """Value this node learned as chosen for ``index``."""
+        return tm_get(self.chosen1, index)
+
+    def with_accepted(self, index: int, value: Value) -> "OnePaxosNodeState":
+        """Copy with the acceptor slot of ``index`` filled."""
+        return replace(self, accepted1=tm_set(self.accepted1, index, value))
+
+    def with_chosen(self, index: int, value: Value) -> "OnePaxosNodeState":
+        """Copy with the learner slot of ``index`` filled."""
+        return replace(self, chosen1=tm_set(self.chosen1, index, value))
+
+    # -- configuration view ---------------------------------------------------
+
+    def utility_entries(self) -> Tuple[Tuple[int, Value], ...]:
+        """Chosen utility log entries this node knows, by ascending index."""
+        entries = []
+        for index in tm_keys(self.utility.learners):
+            value = self.utility.chosen_value(index)
+            if value is not None:
+                entries.append((index, value))
+        return tuple(sorted(entries))
+
+    def believed_leader(self) -> NodeId:
+        """Who this node believes is the global leader.
+
+        The last chosen LeaderChange in its utility view, else the cached
+        initialization value.
+        """
+        leader = self.cached_leader
+        for _index, value in self.utility_entries():
+            kind, node = parse_entry(value)
+            if kind == "leader":
+                leader = node
+        return leader
+
+    def leader_via_utility(self) -> bool:
+        """True when this node's leadership view comes from the utility log.
+
+        A node that became leader through a chosen LeaderChange "refers to
+        PaxosUtility to get the acceptor Id"; a node that is leader only by
+        initialization does not (§5.6) — that distinction is what lets the
+        buggy cached acceptor reach the data path.
+        """
+        return any(
+            parse_entry(value)[0] == "leader"
+            for _index, value in self.utility_entries()
+        )
+
+    def acceptor_for_proposing(self, true_initial_acceptor: NodeId) -> NodeId:
+        """The acceptor this node would address when proposing as leader.
+
+        Consult the utility when leadership itself came from the utility;
+        otherwise trust the locally cached initialization value — the buggy
+        code path.  ``true_initial_acceptor`` is the configuration the
+        utility service was bootstrapped with (always correct: the bug is in
+        node-local initialization, not in the utility).
+        """
+        if self.leader_via_utility():
+            acceptor = true_initial_acceptor
+            for _index, value in self.utility_entries():
+                kind, node = parse_entry(value)
+                if kind == "acceptor":
+                    acceptor = node
+            return acceptor
+        return self.cached_acceptor
+
+    def next_utility_index(self) -> int:
+        """The utility log index this node would propose a config change at."""
+        entries = self.utility_entries()
+        if not entries:
+            return 0
+        return entries[-1][0] + 1

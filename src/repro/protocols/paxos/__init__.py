@@ -1,0 +1,37 @@
+"""Paxos: the paper's complex distributed testbed (§5)."""
+
+from repro.protocols.paxos.invariant import PaxosAgreement, PaxosAgreementAll
+from repro.protocols.paxos.messages import (
+    Accept,
+    Ballot,
+    Learn,
+    Prepare,
+    PrepareResponse,
+    Value,
+)
+from repro.protocols.paxos.protocol import BuggyPaxosProtocol, PaxosProtocol
+from repro.protocols.paxos.state import (
+    AcceptorSlot,
+    LearnerSlot,
+    PaxosNodeState,
+    PromiseInfo,
+    ProposerSlot,
+)
+
+__all__ = [
+    "Accept",
+    "AcceptorSlot",
+    "Ballot",
+    "BuggyPaxosProtocol",
+    "Learn",
+    "LearnerSlot",
+    "PaxosAgreement",
+    "PaxosAgreementAll",
+    "PaxosNodeState",
+    "PaxosProtocol",
+    "Prepare",
+    "PrepareResponse",
+    "PromiseInfo",
+    "ProposerSlot",
+    "Value",
+]

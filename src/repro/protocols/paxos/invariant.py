@@ -1,0 +1,102 @@
+"""The Paxos safety invariant, in LMC-ready decomposable form.
+
+"The Paxos invariant (also known as the Paxos safety property) stipulates
+that no two nodes will choose different values for the same index" (§5).
+
+:class:`PaxosAgreement` covers one decree index with the default conflict
+notion (two distinct non-``None`` projections), which is what unlocks the
+LMC-OPT pruning of §4.2: "we map the node states to the values that are
+chosen in them ... we thus select only the node states that at least two of
+them are mapped to different values".  :class:`PaxosAgreementAll` covers all
+indexes at once with a custom conflict (used by tests; OPT then degrades to
+generate-and-filter).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.invariants.base import DecomposableInvariant
+from repro.model.system_state import SystemState
+from repro.model.types import NodeId
+from repro.protocols.common import tm_keys
+from repro.protocols.paxos.messages import Value
+from repro.protocols.paxos.state import PaxosNodeState
+
+
+class PaxosAgreement(DecomposableInvariant):
+    """No two nodes choose different values for decree ``index``."""
+
+    def __init__(self, index: int = 0):
+        self.index = index
+        self.name = f"paxos-agreement[{index}]"
+
+    def check(self, system: SystemState) -> bool:
+        chosen = {
+            state.chosen_value(self.index)
+            for _node, state in system.items()
+            if state.chosen_value(self.index) is not None
+        }
+        return len(chosen) <= 1
+
+    def describe_violation(self, system: SystemState) -> str:
+        choices = {
+            node: state.chosen_value(self.index)
+            for node, state in system.items()
+            if state.chosen_value(self.index) is not None
+        }
+        return (
+            f"Paxos agreement violated at index {self.index}: "
+            f"nodes chose {choices}"
+        )
+
+    def local_projection(
+        self, node: NodeId, state: PaxosNodeState
+    ) -> Optional[Value]:
+        return state.chosen_value(self.index)
+
+
+class PaxosAgreementAll(DecomposableInvariant):
+    """No two nodes choose different values for *any* decree index."""
+
+    name = "paxos-agreement[*]"
+
+    def check(self, system: SystemState) -> bool:
+        per_index: Dict[int, set] = {}
+        for _node, state in system.items():
+            for index in tm_keys(state.learners):
+                value = state.chosen_value(index)
+                if value is not None:
+                    per_index.setdefault(index, set()).add(value)
+        return all(len(values) <= 1 for values in per_index.values())
+
+    def describe_violation(self, system: SystemState) -> str:
+        per_index: Dict[int, Dict[NodeId, Value]] = {}
+        for node, state in system.items():
+            for index in tm_keys(state.learners):
+                value = state.chosen_value(index)
+                if value is not None:
+                    per_index.setdefault(index, {})[node] = value
+        conflicting = {
+            index: choices
+            for index, choices in per_index.items()
+            if len(set(choices.values())) > 1
+        }
+        return f"Paxos agreement violated: {conflicting}"
+
+    def local_projection(
+        self, node: NodeId, state: PaxosNodeState
+    ) -> Optional[FrozenSet[Tuple[int, Value]]]:
+        chosen = frozenset(
+            (index, state.chosen_value(index))
+            for index in tm_keys(state.learners)
+            if state.chosen_value(index) is not None
+        )
+        return chosen or None
+
+    def projections_conflict(self, projections: Dict[NodeId, object]) -> bool:
+        per_index: Dict[int, set] = {}
+        for chosen in projections.values():
+            for index, value in chosen:  # type: ignore[union-attr]
+                per_index.setdefault(index, set()).add(value)
+        return any(len(values) > 1 for values in per_index.values())

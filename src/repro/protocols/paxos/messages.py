@@ -1,0 +1,78 @@
+"""Paxos wire messages and ballots.
+
+The message vocabulary follows §5's description of the checked
+implementation: a proposition broadcasts **Prepare**; acceptors answer with
+**PrepareResponse** (carrying any previously accepted ballot/value); on a
+majority of responses the proposer broadcasts **Accept**; each acceptor that
+accepts broadcasts **Learn** to the learners; a value is chosen by a learner
+on Learn messages from a majority of acceptors.
+
+Ballots are ``(round, proposer)`` pairs ordered lexicographically, which
+makes concurrent proposals from different nodes totally ordered without any
+coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.types import NodeId
+
+#: Values in these experiments are short strings (e.g. a node's own id
+#: rendered as ``"v1"``); any immutable hashable value works.
+Value = str
+
+
+@dataclass(frozen=True, order=True)
+class Ballot:
+    """A proposal number: unique and totally ordered across proposers."""
+
+    round: int
+    proposer: NodeId
+
+    def next_round(self, proposer: NodeId) -> "Ballot":
+        """The smallest ballot of ``proposer`` larger than this one."""
+        return Ballot(self.round + 1, proposer)
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Phase-1a: ask acceptors to promise ballot ``ballot`` for ``index``."""
+
+    index: int
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class PrepareResponse:
+    """Phase-1b: an acceptor's promise for ``ballot``.
+
+    ``accepted_ballot``/``accepted_value`` report the acceptor's previously
+    accepted proposal for this index, if any — the information the proposer
+    must use (highest accepted ballot wins) and which the §5.5 injected bug
+    misuses (it takes the value of the *last received* response instead).
+    """
+
+    index: int
+    ballot: Ballot
+    accepted_ballot: Optional[Ballot]
+    accepted_value: Optional[Value]
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Phase-2a: ask acceptors to accept ``value`` at ``ballot``."""
+
+    index: int
+    ballot: Ballot
+    value: Value
+
+
+@dataclass(frozen=True)
+class Learn:
+    """An acceptor's notification that it accepted ``value`` at ``ballot``."""
+
+    index: int
+    ballot: Ballot
+    value: Value

@@ -1,0 +1,84 @@
+"""Crafted live states for the §5.5 experiment.
+
+The online run that caught the injected bug was snapshotted in this state:
+"for index ki, node N1 has proposed value v1, nodes N1 and N2 have accepted
+this proposal, but due to message losses only N1 has learned it."  LMC was
+then started from that snapshot and found the violation in seconds.
+
+With our node numbering (N1, N2, N3 of the paper = nodes 0, 1, 2):
+
+* node 0 proposed ``v0`` with ballot (1, 0) and completed its proposal;
+  nodes 0 and 1 accepted it; only node 0 received a Learn quorum and chose;
+* node 1 still has a pending proposal ``v1`` for the same index — the
+  contender whose proposition triggers the bug;
+* node 2 neither promised nor accepted anything (its messages were lost).
+
+:func:`partial_choice_state` builds exactly that snapshot; tests assert it
+is reachable by a real message-loss run of the correct protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.model.system_state import SystemState
+from repro.protocols.paxos.messages import Ballot
+from repro.protocols.paxos.protocol import PaxosProtocol
+from repro.protocols.paxos.state import (
+    AcceptorSlot,
+    LearnerSlot,
+    PaxosNodeState,
+    PromiseInfo,
+    ProposerSlot,
+)
+
+
+def partial_choice_state(
+    index: int = 0,
+    first_value: str = "v0",
+    contender_value: str = "v1",
+) -> SystemState:
+    """The §5.5 live snapshot over three nodes (see module docstring)."""
+    ballot = Ballot(1, 0)
+    accepted = AcceptorSlot(
+        promised=ballot, accepted_ballot=ballot, accepted_value=first_value
+    )
+    responses = (
+        PromiseInfo(src=0, accepted_ballot=None, accepted_value=None),
+        PromiseInfo(src=1, accepted_ballot=None, accepted_value=None),
+    )
+    proposer_done = ProposerSlot(
+        ballot=ballot, value=first_value, phase="done", responses=responses
+    )
+    learner_chose = LearnerSlot(
+        learns=frozenset(
+            {(0, ballot, first_value), (1, ballot, first_value)}
+        ),
+        chosen=first_value,
+    )
+
+    node0 = PaxosNodeState(node=0, initialized=True).with_proposer(
+        index, proposer_done
+    )
+    node0 = node0.with_acceptor(index, accepted).with_learner(index, learner_chose)
+
+    node1 = PaxosNodeState(
+        node=1, initialized=True, pending=((index, contender_value),)
+    ).with_acceptor(index, accepted)
+
+    node2 = PaxosNodeState(node=2, initialized=True)
+
+    return SystemState({0: node0, 1: node1, 2: node2})
+
+
+def scenario_protocol(buggy: bool) -> PaxosProtocol:
+    """The protocol configuration matching :func:`partial_choice_state`.
+
+    The snapshot already contains node 1's pending proposal, so the protocol
+    itself declares no driver proposals; ``require_init`` is off because the
+    snapshot is of an initialized, running system.
+    """
+    from repro.protocols.paxos.protocol import BuggyPaxosProtocol
+
+    cls = BuggyPaxosProtocol if buggy else PaxosProtocol
+    return cls(num_nodes=3, proposals=(), require_init=False)

@@ -1,0 +1,200 @@
+"""RandTree: a tree-membership protocol with a node-local invariant.
+
+The paper uses RandTree as its example of an invariant decomposable into
+locally verifiable properties: "in RandTree distributed tree structure, one
+invariant specifies that in all node states the children and siblings must
+be disjoint sets" (§4.1).  Such invariants never need system-state creation
+at all — LMC checks them on node states directly, the cheapest case of the
+invariant-specific machinery.
+
+The protocol here is a deterministic distillation of Mace's RandTree: nodes
+join through the root; a node with spare fanout adopts the joiner, tells it
+its siblings, and notifies the existing children; a full node forwards the
+join request to its first child.  :class:`SiblingMixupRandTree` injects a
+bookkeeping bug — the adopting parent also adds the new child to its own
+sibling set — which violates the disjointness invariant locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Tuple
+
+from repro.invariants.base import LocalInvariant
+from repro.model.protocol import Protocol, ProtocolConfigError
+from repro.model.types import Action, HandlerResult, Message, NodeId
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """A joiner (``joiner``) asks to be adopted somewhere under the root."""
+
+    joiner: NodeId
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Adoption notice: ``parent`` adopted the receiver; ``siblings`` are its peers."""
+
+    parent: NodeId
+    siblings: FrozenSet[NodeId]
+
+
+@dataclass(frozen=True)
+class SiblingNotice:
+    """An existing child learns about its new sibling."""
+
+    sibling: NodeId
+
+
+@dataclass(frozen=True)
+class RandTreeNodeState:
+    """Local membership view: parent, children and siblings."""
+
+    node: NodeId
+    joined: bool = False
+    requested: bool = False
+    parent: Optional[NodeId] = None
+    children: FrozenSet[NodeId] = frozenset()
+    siblings: FrozenSet[NodeId] = frozenset()
+
+
+class RandTreeProtocol(Protocol):
+    """Join-through-the-root tree membership with bounded fanout."""
+
+    name = "randtree"
+
+    def __init__(self, num_nodes: int = 4, root: NodeId = 0, fanout: int = 2):
+        if num_nodes < 2:
+            raise ProtocolConfigError("randtree needs at least two nodes")
+        if fanout < 1:
+            raise ProtocolConfigError("fanout must be >= 1")
+        self._node_ids = tuple(range(num_nodes))
+        if root not in self._node_ids:
+            raise ProtocolConfigError(f"root {root} not a node")
+        self.root = root
+        self.fanout = fanout
+
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        return self._node_ids
+
+    def initial_state(self, node: NodeId) -> RandTreeNodeState:
+        return RandTreeNodeState(node=node, joined=(node == self.root))
+
+    def enabled_actions(self, state: RandTreeNodeState) -> Tuple[Action, ...]:
+        if state.node != self.root and not state.requested:
+            return (Action(node=state.node, name="join"),)
+        return ()
+
+    def handle_action(self, state: RandTreeNodeState, action: Action) -> HandlerResult:
+        if action.name != "join" or state.requested or state.node == self.root:
+            return HandlerResult(state)
+        request = Message(
+            dest=self.root,
+            src=state.node,
+            payload=JoinRequest(joiner=state.node),
+        )
+        return HandlerResult(replace(state, requested=True), (request,))
+
+    def handle_message(self, state: RandTreeNodeState, message: Message) -> HandlerResult:
+        payload = message.payload
+        if isinstance(payload, JoinRequest):
+            return self._on_join_request(state, payload)
+        if isinstance(payload, Welcome):
+            return self._on_welcome(state, payload)
+        if isinstance(payload, SiblingNotice):
+            return self._on_sibling_notice(state, payload)
+        return HandlerResult(state)
+
+    def _on_join_request(
+        self, state: RandTreeNodeState, request: JoinRequest
+    ) -> HandlerResult:
+        joiner = request.joiner
+        if joiner == state.node or joiner in state.children:
+            return HandlerResult(state)
+        if not state.joined:
+            # Not part of the tree yet (a forwarded request raced our own
+            # join): ignore; the joiner's request to the root still stands.
+            return HandlerResult(state)
+        if len(state.children) >= self.fanout:
+            forward_to = min(state.children)
+            forward = Message(dest=forward_to, src=state.node, payload=request)
+            return HandlerResult(state, (forward,))
+        siblings = state.children
+        sends = [
+            Message(
+                dest=joiner,
+                src=state.node,
+                payload=Welcome(parent=state.node, siblings=siblings),
+            )
+        ]
+        for child in sorted(state.children):
+            sends.append(
+                Message(
+                    dest=child,
+                    src=state.node,
+                    payload=SiblingNotice(sibling=joiner),
+                )
+            )
+        new_state = self._adopt(state, joiner)
+        return HandlerResult(new_state, tuple(sends))
+
+    def _adopt(self, state: RandTreeNodeState, joiner: NodeId) -> RandTreeNodeState:
+        """The parent's bookkeeping when adopting ``joiner`` (overridden by the bug)."""
+        return replace(state, children=state.children | {joiner})
+
+    def _on_welcome(self, state: RandTreeNodeState, welcome: Welcome) -> HandlerResult:
+        if state.joined:
+            return HandlerResult(state)
+        return HandlerResult(
+            replace(
+                state,
+                joined=True,
+                parent=welcome.parent,
+                siblings=welcome.siblings,
+            )
+        )
+
+    def _on_sibling_notice(
+        self, state: RandTreeNodeState, notice: SiblingNotice
+    ) -> HandlerResult:
+        if notice.sibling == state.node or notice.sibling in state.siblings:
+            return HandlerResult(state)
+        return HandlerResult(
+            replace(state, siblings=state.siblings | {notice.sibling})
+        )
+
+
+class SiblingMixupRandTree(RandTreeProtocol):
+    """RandTree with an injected bookkeeping bug.
+
+    The adopting parent also records its new *child* in its own *sibling*
+    set — children and siblings stop being disjoint on the parent, violating
+    :class:`ChildrenSiblingsDisjoint` locally.
+    """
+
+    name = "randtree-sibling-mixup"
+
+    def _adopt(self, state: RandTreeNodeState, joiner: NodeId) -> RandTreeNodeState:
+        return replace(
+            state,
+            children=state.children | {joiner},
+            siblings=state.siblings | {joiner},
+        )
+
+
+class ChildrenSiblingsDisjoint(LocalInvariant):
+    """Every node's children and siblings are disjoint sets (§4.1)."""
+
+    name = "randtree-children-siblings-disjoint"
+
+    def check_local(self, node: NodeId, state: RandTreeNodeState) -> bool:
+        return not (state.children & state.siblings)
+
+    def describe_violation(self, system) -> str:  # type: ignore[override]
+        overlapping = {
+            node: sorted(state.children & state.siblings)
+            for node, state in system.items()
+            if state.children & state.siblings
+        }
+        return f"children/siblings overlap: {overlapping}"

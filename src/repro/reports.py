@@ -1,0 +1,78 @@
+"""Bug reports and checker results shared by both model checkers.
+
+A confirmed bug always carries an executable *counterexample*: the sequence
+of events that drives the system from the search's starting state into the
+violating system state.  For the global checker the trace is the DFS path;
+for LMC it is the valid total order that soundness verification discovered —
+which is exactly why LMC's reports are sound (§4: "our reported bugs are
+sound and this is ensured by keeping track of the events executed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.model.events import Event
+from repro.model.system_state import SystemState
+from repro.stats.counters import ExplorationStats
+from repro.stats.series import DepthSeries
+
+
+@dataclass(frozen=True)
+class BugReport:
+    """A confirmed invariant violation.
+
+    ``violating_state`` is the system state on which the invariant failed;
+    ``trace`` is a witness event sequence from ``initial_state`` to it (a
+    valid total order of events); ``description`` is the invariant's account
+    of the violation; ``kind`` distinguishes invariant violations from local
+    assertion failures surfaced by the global checker.
+    """
+
+    kind: str
+    description: str
+    violating_state: SystemState
+    trace: Tuple[Event, ...]
+    initial_state: SystemState
+
+    def trace_lines(self) -> Tuple[str, ...]:
+        """The witness trace rendered one event per line."""
+        return tuple(
+            f"{index:3d}. {event.describe()}" for index, event in enumerate(self.trace, 1)
+        )
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [f"BUG ({self.kind}): {self.description}", "witness trace:"]
+        lines.extend(self.trace_lines())
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one checker run.
+
+    ``completed`` is True when the search exhausted the reachable state space
+    within its bounds (as opposed to stopping on a budget).  ``bugs`` lists
+    confirmed violations in discovery order.  ``stats`` and ``series`` carry
+    the measurements the benches consume.
+    """
+
+    algorithm: str
+    completed: bool
+    bugs: List[BugReport] = field(default_factory=list)
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+    series: Optional[DepthSeries] = None
+    stop_reason: str = ""
+
+    @property
+    def found_bug(self) -> bool:
+        """True when at least one confirmed bug was reported."""
+        return bool(self.bugs)
+
+    def first_bug(self) -> BugReport:
+        """The first confirmed bug; raises if none was found."""
+        if not self.bugs:
+            raise LookupError(f"{self.algorithm}: no bug was found")
+        return self.bugs[0]

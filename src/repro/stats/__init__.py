@@ -1,0 +1,13 @@
+"""Counters, per-depth series and reporting used by checkers and benches."""
+
+from repro.stats.counters import ExplorationStats
+from repro.stats.reporting import format_depth_series, format_table
+from repro.stats.series import DepthSample, DepthSeries
+
+__all__ = [
+    "DepthSample",
+    "DepthSeries",
+    "ExplorationStats",
+    "format_depth_series",
+    "format_table",
+]

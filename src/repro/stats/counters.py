@@ -1,0 +1,92 @@
+"""Exploration counters shared by both checkers.
+
+Every quantity the paper reports lives here: transitions executed (the
+157,332 vs 1,186 comparison of §5.1), states visited (global / node /
+system, Fig. 11), invariant checks, preliminary violations, soundness
+verification calls and the number of event sequences those calls examined
+(the 773 calls / 427,731 sequences breakdown of §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ExplorationStats:
+    """Mutable counter block carried by a single checker run."""
+
+    #: Handler executions that produced a transition (global MC: every event
+    #: executed on a global state; LMC: every event executed on a node state).
+    transitions: int = 0
+    #: Handler executions that turned out to be no-ops (state unchanged, no
+    #: sends); tracked separately because they are work but not transitions.
+    noop_executions: int = 0
+    #: Distinct global states visited (global checker only).
+    global_states: int = 0
+    #: Distinct node states visited, summed over nodes (LMC only).
+    node_states: int = 0
+    #: System states materialised for invariant checking.
+    system_states_created: int = 0
+    #: Invariant evaluations performed.
+    invariant_checks: int = 0
+    #: Invariant violations before soundness verification (LMC only).
+    preliminary_violations: int = 0
+    #: Soundness verification invocations (LMC only).
+    soundness_calls: int = 0
+    #: Event sequences examined across all soundness calls (LMC only).
+    soundness_sequences: int = 0
+    #: Violations confirmed valid and reported as bugs.
+    confirmed_bugs: int = 0
+    #: Node states discarded due to local assertion failures (§4.2).
+    states_discarded_by_assert: int = 0
+    #: Sends suppressed by the duplicate-message limit (§4.2).
+    suppressed_duplicates: int = 0
+    #: Deliveries skipped because the message was in the state's history
+    #: (§4.2 "Duplicate messages", redundant-execution rule).
+    history_skips: int = 0
+    #: Wall-clock seconds attributed to each checker phase; keys are phase
+    #: names such as "explore", "system_states", "soundness" (Fig. 13).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        """Accumulate wall-clock time into a named phase bucket."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict copy of all counters (cheap, for depth series rows)."""
+        return {
+            "transitions": self.transitions,
+            "noop_executions": self.noop_executions,
+            "global_states": self.global_states,
+            "node_states": self.node_states,
+            "system_states_created": self.system_states_created,
+            "invariant_checks": self.invariant_checks,
+            "preliminary_violations": self.preliminary_violations,
+            "soundness_calls": self.soundness_calls,
+            "soundness_sequences": self.soundness_sequences,
+            "confirmed_bugs": self.confirmed_bugs,
+            "states_discarded_by_assert": self.states_discarded_by_assert,
+            "suppressed_duplicates": self.suppressed_duplicates,
+            "history_skips": self.history_skips,
+            **{f"phase_{name}_s": secs for name, secs in self.phase_seconds.items()},
+        }
+
+    def merge(self, other: "ExplorationStats") -> None:
+        """Fold another counter block into this one (parallel-run aggregation)."""
+        self.transitions += other.transitions
+        self.noop_executions += other.noop_executions
+        self.global_states += other.global_states
+        self.node_states += other.node_states
+        self.system_states_created += other.system_states_created
+        self.invariant_checks += other.invariant_checks
+        self.preliminary_violations += other.preliminary_violations
+        self.soundness_calls += other.soundness_calls
+        self.soundness_sequences += other.soundness_sequences
+        self.confirmed_bugs += other.confirmed_bugs
+        self.states_discarded_by_assert += other.states_discarded_by_assert
+        self.suppressed_duplicates += other.suppressed_duplicates
+        self.history_skips += other.history_skips
+        for phase, seconds in other.phase_seconds.items():
+            self.add_phase_time(phase, seconds)

@@ -1,0 +1,83 @@
+"""Per-depth measurement series — the raw material of Figs. 10-13.
+
+Every figure in the paper's evaluation plots a quantity against exploration
+*depth*: elapsed time (Fig. 10), state counts (Fig. 11), memory (Fig. 12),
+phase overheads (Fig. 13).  Checkers record a :class:`DepthSample` each time
+they complete a depth level; the bench harness turns the resulting
+:class:`DepthSeries` into printed figure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DepthSample:
+    """Cumulative measurements at the moment depth ``depth`` was completed."""
+
+    depth: int
+    elapsed_s: float
+    metrics: Dict[str, float]
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """A metric by name, with default."""
+        return self.metrics.get(key, default)
+
+
+@dataclass
+class DepthSeries:
+    """Ordered per-depth samples for one algorithm on one workload."""
+
+    label: str
+    samples: List[DepthSample] = field(default_factory=list)
+
+    def record(self, depth: int, elapsed_s: float, metrics: Dict[str, float]) -> None:
+        """Append a sample; depths must be recorded in increasing order."""
+        if self.samples and depth <= self.samples[-1].depth:
+            raise ValueError(
+                f"depth {depth} recorded after depth {self.samples[-1].depth}"
+            )
+        self.samples.append(DepthSample(depth, elapsed_s, dict(metrics)))
+
+    def record_or_update(
+        self, depth: int, elapsed_s: float, metrics: Dict[str, float]
+    ) -> None:
+        """Record a sample, replacing the last one when depth did not grow.
+
+        Checkers use this for the end-of-run sample: the final measurements
+        (total elapsed time, final counters) must land in the series even
+        when the deepest level was completed long before the run ended.
+        """
+        if self.samples and depth <= self.samples[-1].depth:
+            self.samples[-1] = DepthSample(
+                self.samples[-1].depth, elapsed_s, dict(metrics)
+            )
+        else:
+            self.samples.append(DepthSample(depth, elapsed_s, dict(metrics)))
+
+    def depths(self) -> Tuple[int, ...]:
+        """All recorded depths, ascending."""
+        return tuple(sample.depth for sample in self.samples)
+
+    def max_depth(self) -> int:
+        """Deepest completed level (0 when nothing recorded)."""
+        return self.samples[-1].depth if self.samples else 0
+
+    def at_depth(self, depth: int) -> Optional[DepthSample]:
+        """The sample recorded for ``depth``, if any."""
+        for sample in self.samples:
+            if sample.depth == depth:
+                return sample
+        return None
+
+    def final(self) -> Optional[DepthSample]:
+        """The last (deepest) sample, if any."""
+        return self.samples[-1] if self.samples else None
+
+    def column(self, key: str) -> Tuple[float, ...]:
+        """One metric across all depths (``elapsed_s`` is addressable too)."""
+        if key == "elapsed_s":
+            return tuple(sample.elapsed_s for sample in self.samples)
+        return tuple(sample.get(key) for sample in self.samples)

@@ -1,0 +1,45 @@
+"""Shared expensive fixtures: full explorations of the Fig. 10 Paxos space.
+
+Several test modules compare algorithms on the paper's single-proposal
+space; the full B-DFS exploration alone takes tens of seconds, so the runs
+happen once per session and are shared read-only.
+"""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.budget import SearchBudget
+from repro.explore.global_checker import GlobalModelChecker
+from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
+
+
+def paxos_space():
+    return PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),)), PaxosAgreement(0)
+
+
+@pytest.fixture(scope="session")
+def paxos_bdfs_full():
+    """Complete B-DFS exploration of the single-proposal space (slow)."""
+    protocol, invariant = paxos_space()
+    return GlobalModelChecker(
+        protocol, invariant, budget=SearchBudget(max_seconds=600)
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def paxos_gen_full():
+    """Complete LMC-GEN exploration of the single-proposal space."""
+    protocol, invariant = paxos_space()
+    return LocalModelChecker(
+        protocol, invariant, config=LMCConfig.general()
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def paxos_opt_full():
+    """Complete LMC-OPT exploration of the single-proposal space."""
+    protocol, invariant = paxos_space()
+    return LocalModelChecker(
+        protocol, invariant, config=LMCConfig.optimized()
+    ).run()

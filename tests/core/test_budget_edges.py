@@ -1,0 +1,95 @@
+"""Remaining budget and stop-criterion edge cases."""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.budget import BudgetClock, SearchBudget
+from repro.invariants.base import PredicateInvariant
+from repro.protocols.echo import EchoProtocol
+from repro.protocols.tree import TreeProtocol
+
+TRUE = PredicateInvariant("true", lambda s: True)
+
+
+class TestSearchBudgetFactories:
+    def test_unbounded(self):
+        budget = SearchBudget.unbounded()
+        assert budget.max_depth is None
+        assert budget.max_seconds is None
+
+    def test_depth_factory(self):
+        assert SearchBudget.depth(5).max_depth == 5
+
+    def test_seconds_factory(self):
+        budget = SearchBudget.seconds(2.5, max_depth=7)
+        assert budget.max_seconds == 2.5
+        assert budget.max_depth == 7
+
+
+class TestBudgetClockEdges:
+    def test_unbounded_never_stops(self):
+        clock = BudgetClock(SearchBudget.unbounded())
+        assert clock.stop_reason(10**9, 10**9) is None
+        assert clock.depth_allowed(10**9)
+
+    def test_transition_bound_reported(self):
+        clock = BudgetClock(SearchBudget(max_transitions=10))
+        assert clock.stop_reason(9, 0) is None
+        assert clock.stop_reason(10, 0) == "transition budget exhausted"
+
+    def test_state_bound_reported(self):
+        clock = BudgetClock(SearchBudget(max_states=3))
+        assert clock.stop_reason(0, 2) is None
+        assert clock.stop_reason(0, 3) == "state budget exhausted"
+
+    def test_elapsed_monotone(self):
+        clock = BudgetClock(SearchBudget.unbounded())
+        first = clock.elapsed()
+        second = clock.elapsed()
+        assert second >= first >= 0
+
+
+class TestLmcDepthBound:
+    def test_depth_zero_keeps_only_seeds(self):
+        result = LocalModelChecker(
+            TreeProtocol(), TRUE, budget=SearchBudget(max_depth=0)
+        ).run()
+        assert result.completed
+        assert result.stats.node_states == 5  # seeds only
+
+    def test_depth_bound_is_per_node_sequence(self):
+        shallow = LocalModelChecker(
+            EchoProtocol(3), TRUE, budget=SearchBudget(max_depth=1)
+        ).run()
+        deep = LocalModelChecker(EchoProtocol(3), TRUE).run()
+        assert shallow.completed
+        assert shallow.stats.node_states < deep.stats.node_states
+
+    def test_increasing_depth_monotone_states(self):
+        counts = []
+        for depth in (0, 1, 2, 3):
+            result = LocalModelChecker(
+                EchoProtocol(3), TRUE, budget=SearchBudget(max_depth=depth)
+            ).run()
+            counts.append(result.stats.node_states)
+        assert counts == sorted(counts)
+
+
+class TestStopOnFirstBugFalse:
+    def test_collects_multiple_witnesses(self):
+        from repro.protocols.paxos import PaxosAgreement
+        from repro.protocols.paxos.scenarios import (
+            partial_choice_state,
+            scenario_protocol,
+        )
+
+        result = LocalModelChecker(
+            scenario_protocol(buggy=True),
+            PaxosAgreement(0),
+            budget=SearchBudget(max_seconds=5.0),
+            config=LMCConfig.optimized(stop_on_first_bug=False),
+        ).run(partial_choice_state())
+        assert len(result.bugs) > 1
+        descriptions = {bug.description for bug in result.bugs}
+        assert descriptions  # each is a concrete violating combination

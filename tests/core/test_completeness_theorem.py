@@ -1,0 +1,129 @@
+"""The paper's completeness claim, tested directly.
+
+§1: "our approach is complete in the sense that any violation of a system
+state invariant that could be detected by the global approach could be
+detected by our local approach", backed by §4's transition correspondence
+(for each ``(Lp, Ip) ⇝ (Lq, Iq)`` in ``H_M`` there is a corresponding
+transition in ``H'_M``).
+
+Concretely: every system state the global checker reaches must be a
+combination of LMC-visited node states — for every reachable ``L`` and
+every node ``n``, ``L(n) ∈ LS_n``.  These tests enumerate the *entire*
+reachable global space of each workload and check the inclusion state by
+state, on fixed configurations and hypothesis-generated topologies.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import LocalModelChecker, _ExplorationPass
+from repro.core.config import LMCConfig
+from repro.explore.budget import BudgetClock, SearchBudget
+from repro.explore.global_checker import GlobalModelChecker
+from repro.invariants.base import PredicateInvariant
+from repro.model.hashing import content_hash
+from repro.protocols.chain import ChainProtocol
+from repro.protocols.echo import EchoProtocol
+from repro.protocols.ring import GreedyRingElection, RingElection
+from repro.protocols.stream import StreamProtocol
+from repro.protocols.tree import TreeProtocol
+from repro.protocols.twophase import EagerCommitCoordinator, TwoPhaseCommit
+
+TRUE = PredicateInvariant("true", lambda s: True)
+
+
+def global_system_states(protocol):
+    """Every distinct system state in the reachable global space."""
+    collected = {}
+
+    def collector(system):
+        collected[hash(system)] = system
+        return True
+
+    result = GlobalModelChecker(
+        protocol,
+        PredicateInvariant("collector", collector),
+        stop_on_first_bug=False,
+    ).run()
+    assert result.completed
+    return list(collected.values())
+
+
+def lmc_node_state_hashes(protocol):
+    """Per-node hash sets of all LMC-visited node states."""
+    checker = LocalModelChecker(protocol, TRUE, config=LMCConfig())
+    pass_run = _ExplorationPass(
+        checker,
+        protocol.initial_system_state(),
+        BudgetClock(SearchBudget.unbounded()),
+        None,
+    )
+    outcome = pass_run.execute()
+    assert outcome.completed
+    return {
+        node: set(store._by_hash)
+        for node, store in pass_run.space.stores.items()
+    }
+
+
+def assert_lmc_covers_global(protocol):
+    visited = lmc_node_state_hashes(protocol)
+    for system in global_system_states(protocol):
+        for node, state in system.items():
+            assert content_hash(state) in visited[node], (
+                f"node {node} state missing from LS_n: {state!r}"
+            )
+
+
+class TestFixedWorkloads:
+    def test_tree(self):
+        assert_lmc_covers_global(TreeProtocol())
+
+    def test_tree_stateless(self):
+        assert_lmc_covers_global(TreeProtocol(track_forwarding=False))
+
+    def test_chain(self):
+        assert_lmc_covers_global(ChainProtocol(5))
+
+    def test_echo(self):
+        assert_lmc_covers_global(EchoProtocol(3))
+
+    def test_stream(self):
+        assert_lmc_covers_global(StreamProtocol(3))
+
+    def test_twophase(self):
+        assert_lmc_covers_global(TwoPhaseCommit(3, no_voters=(2,)))
+
+    def test_twophase_buggy(self):
+        assert_lmc_covers_global(EagerCommitCoordinator(3, no_voters=(1,)))
+
+    def test_ring(self):
+        assert_lmc_covers_global(RingElection(3, initiators=(0, 1)))
+
+    def test_ring_buggy(self):
+        assert_lmc_covers_global(GreedyRingElection(3))
+
+
+@st.composite
+def tree_topologies(draw):
+    num_nodes = draw(st.integers(min_value=3, max_value=5))
+    children = {}
+    for node in range(1, num_nodes):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        children.setdefault(parent, []).append(node)
+    target = draw(st.integers(min_value=1, max_value=num_nodes - 1))
+    return (
+        {parent: tuple(kids) for parent, kids in children.items()},
+        target,
+    )
+
+
+@settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(tree_topologies())
+def test_generated_topologies(topology):
+    children, target = topology
+    assert_lmc_covers_global(
+        TreeProtocol(children=children, origin=0, target=target)
+    )

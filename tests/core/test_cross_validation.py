@@ -1,0 +1,170 @@
+"""Cross-validation: LMC must agree with the sound-and-complete baseline.
+
+For every workload small enough to exhaust, the global checker's verdict is
+ground truth: it visits exactly the reachable states.  These tests sweep
+protocol configurations — including hypothesis-generated topologies — and
+assert both checkers agree on bug/no-bug, which exercises completeness
+(no false negatives) and soundness (no false positives) of LMC end to end.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.global_checker import GlobalModelChecker
+from repro.protocols.chain import ChainOrder, ChainProtocol
+from repro.protocols.echo import EchoProtocol, PongsImplyPing
+from repro.protocols.randtree import (
+    ChildrenSiblingsDisjoint,
+    RandTreeProtocol,
+    SiblingMixupRandTree,
+)
+from repro.protocols.tree import ReceivedImpliesSent, TreeProtocol
+from repro.protocols.twophase import (
+    Atomicity,
+    CommitValidity,
+    EagerCommitCoordinator,
+    TwoPhaseCommit,
+)
+
+
+def verdicts_agree(protocol, invariant, config=LMCConfig()):
+    global_result = GlobalModelChecker(protocol, invariant).run()
+    local_result = LocalModelChecker(protocol, invariant, config=config).run()
+    # A run either exhausts the space or stopped on its first bug.
+    assert global_result.completed or global_result.found_bug
+    assert local_result.completed or local_result.found_bug
+    assert global_result.found_bug == local_result.found_bug, (
+        f"global={global_result.found_bug} local={local_result.found_bug} "
+        f"on {protocol.name}"
+    )
+    return global_result, local_result
+
+
+class TestFixedWorkloads:
+    @pytest.mark.parametrize("length", [2, 3, 4, 5])
+    def test_chain_lengths(self, length):
+        verdicts_agree(ChainProtocol(length), ChainOrder())
+
+    @pytest.mark.parametrize("nodes", [2, 3])
+    def test_echo_sizes(self, nodes):
+        verdicts_agree(EchoProtocol(nodes), PongsImplyPing())
+
+    @pytest.mark.parametrize("no_voters", [(), (1,), (2,), (1, 2)])
+    def test_2pc_correct_all_vote_scripts(self, no_voters):
+        verdicts_agree(TwoPhaseCommit(3, no_voters=no_voters), CommitValidity())
+        verdicts_agree(TwoPhaseCommit(3, no_voters=no_voters), Atomicity())
+
+    @pytest.mark.parametrize("no_voters", [(1,), (2,), (1, 2)])
+    def test_2pc_eager_bug_agreed(self, no_voters):
+        global_result, local_result = verdicts_agree(
+            EagerCommitCoordinator(3, no_voters=no_voters), CommitValidity()
+        )
+        assert global_result.found_bug
+
+    def test_2pc_eager_all_yes_is_actually_fine(self):
+        # Without a no-voter, committing on the first yes is premature but
+        # never wrong: every participant votes yes.
+        global_result, _local = verdicts_agree(
+            EagerCommitCoordinator(3, no_voters=()), CommitValidity()
+        )
+        assert not global_result.found_bug
+
+    @pytest.mark.parametrize("nodes", [2, 3, 4])
+    def test_randtree_correct(self, nodes):
+        verdicts_agree(RandTreeProtocol(nodes), ChildrenSiblingsDisjoint())
+
+    @pytest.mark.parametrize("nodes", [2, 3, 4])
+    def test_randtree_buggy(self, nodes):
+        global_result, _local = verdicts_agree(
+            SiblingMixupRandTree(nodes), ChildrenSiblingsDisjoint()
+        )
+        assert global_result.found_bug
+
+    @pytest.mark.parametrize("initiators", [(0,), (1,), (0, 2)])
+    def test_ring_correct(self, initiators):
+        from repro.protocols.ring import AtMostOneLeader, RingElection
+
+        verdicts_agree(RingElection(3, initiators=initiators), AtMostOneLeader())
+
+    def test_ring_buggy(self):
+        from repro.protocols.ring import AtMostOneLeader, GreedyRingElection
+
+        global_result, _local = verdicts_agree(
+            GreedyRingElection(3), AtMostOneLeader()
+        )
+        assert global_result.found_bug
+
+    @pytest.mark.parametrize("length", [2, 3])
+    def test_stream_in_order_violated_by_both(self, length):
+        from repro.protocols.stream import InOrderDelivery, StreamProtocol
+
+        global_result, _local = verdicts_agree(
+            StreamProtocol(length + 1), InOrderDelivery()
+        )
+        assert global_result.found_bug
+
+    def test_fifo_wrapped_stream_clean_for_both(self):
+        from repro.invariants.base import PredicateInvariant
+        from repro.protocols.fifo_wrapper import (
+            FifoStampedProtocol,
+            unwrap_system_state,
+        )
+        from repro.protocols.stream import InOrderDelivery, StreamProtocol
+
+        wrapped_inv = PredicateInvariant(
+            "in-order+unwrap",
+            lambda s: InOrderDelivery().check(unwrap_system_state(s)),
+        )
+        # reassemble mode is sound under both semantics
+        verdicts_agree(
+            FifoStampedProtocol(StreamProtocol(3), mode="reassemble"),
+            wrapped_inv,
+        )
+
+
+# hypothesis strategy: random small forest topologies rooted at 0
+@st.composite
+def tree_topologies(draw):
+    num_nodes = draw(st.integers(min_value=3, max_value=6))
+    children = {}
+    # every node except 0 gets a parent among lower-numbered nodes, which
+    # guarantees an acyclic topology reaching from the root
+    for node in range(1, num_nodes):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        children.setdefault(parent, []).append(node)
+    target = draw(st.integers(min_value=1, max_value=num_nodes - 1))
+    return (
+        {parent: tuple(kids) for parent, kids in children.items()},
+        target,
+    )
+
+
+class TestGeneratedTopologies:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(tree_topologies())
+    def test_tree_forwarding_agreement(self, topology):
+        children, target = topology
+        protocol = TreeProtocol(children=children, origin=0, target=target)
+        invariant = ReceivedImpliesSent(origin=0, target=target)
+        verdicts_agree(protocol, invariant)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(tree_topologies())
+    def test_tree_forwarding_agreement_stateless(self, topology):
+        children, target = topology
+        protocol = TreeProtocol(
+            children=children, origin=0, target=target, track_forwarding=False
+        )
+        invariant = ReceivedImpliesSent(origin=0, target=target)
+        verdicts_agree(protocol, invariant)

@@ -1,0 +1,91 @@
+"""Determinism: identical inputs must produce identical explorations.
+
+Content hashing is process-stable (BLAKE2b over canonical encodings, not
+Python's salted ``hash``), handlers are pure, and the checkers consult the
+wall clock only for budgets — so every counter of two identical runs must
+coincide exactly.  This is what makes counterexamples reproducible and the
+benches meaningful.
+"""
+
+import subprocess
+import sys
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.global_checker import GlobalModelChecker
+from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
+from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
+
+COUNTERS = (
+    "transitions",
+    "noop_executions",
+    "global_states",
+    "node_states",
+    "system_states_created",
+    "invariant_checks",
+    "preliminary_violations",
+    "soundness_calls",
+    "soundness_sequences",
+    "confirmed_bugs",
+    "history_skips",
+    "suppressed_duplicates",
+)
+
+
+def counters_of(result):
+    return {name: getattr(result.stats, name) for name in COUNTERS}
+
+
+def test_lmc_runs_identically_twice():
+    def run():
+        return LocalModelChecker(
+            PaxosProtocol(), PaxosAgreement(0), config=LMCConfig.optimized()
+        ).run()
+
+    assert counters_of(run()) == counters_of(run())
+
+
+def test_global_runs_identically_twice():
+    def run():
+        return GlobalModelChecker(PaxosProtocol(), PaxosAgreement(0)).run()
+
+    assert counters_of(run()) == counters_of(run())
+
+
+def test_bug_witness_identical_across_runs():
+    def run():
+        return LocalModelChecker(
+            scenario_protocol(buggy=True),
+            PaxosAgreement(0),
+            config=LMCConfig.optimized(),
+        ).run(partial_choice_state())
+
+    first, second = run(), run()
+    assert first.first_bug().trace == second.first_bug().trace
+    assert first.first_bug().violating_state == second.first_bug().violating_state
+
+
+def test_determinism_across_processes():
+    """Content hashing must not depend on PYTHONHASHSEED."""
+    script = (
+        "from repro.core.checker import LocalModelChecker\n"
+        "from repro.core.config import LMCConfig\n"
+        "from repro.protocols.paxos import PaxosAgreement, PaxosProtocol\n"
+        "r = LocalModelChecker(PaxosProtocol(), PaxosAgreement(0),"
+        " config=LMCConfig.optimized()).run()\n"
+        "print(r.stats.transitions, r.stats.node_states,"
+        " r.stats.history_skips)\n"
+    )
+
+    def run(seed: str) -> str:
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    assert run("1") == run("424242")

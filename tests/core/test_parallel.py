@@ -1,0 +1,104 @@
+"""Tests for the parallel local model checker."""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.core.parallel import (
+    ParallelLocalModelChecker,
+    _replay_plain,
+    verify_unit,
+)
+from repro.explore.budget import SearchBudget
+from repro.protocols.paxos import PaxosAgreement
+from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
+from repro.protocols.tree import ReceivedImpliesSent, TreeProtocol
+from repro.protocols.twophase import CommitValidity, EagerCommitCoordinator
+from repro.replay import validate_bug
+
+
+class TestPlainReplay:
+    def test_empty_unit_valid(self):
+        assert _replay_plain({}) == []
+
+    def test_send_then_receive(self):
+        sequences = {
+            0: ((None, (7,)),),      # local event generating hash 7
+            1: (((7), ()),),          # delivery consuming hash 7
+        }
+        # normalise: steps are (consumed, generated)
+        sequences = {0: ((None, (7,)),), 1: ((7, ()),)}
+        order = _replay_plain(sequences)
+        assert order is not None
+        assert order[0] == (0, 0)  # the send must run first
+
+    def test_deadlock_detected(self):
+        sequences = {0: ((1, (2,)),), 1: ((2, (1,)),)}
+        assert _replay_plain(sequences) is None
+
+    def test_verify_unit_picks_working_combination(self):
+        unit = {
+            0: [((5, ()),), ((None, (9,)),)],  # first candidate needs hash 5
+            1: [((9, ()),)],
+        }
+        verdict = verify_unit(unit, max_combinations=None)
+        assert verdict is not None
+        chosen, order = verdict
+        assert chosen[0] == 1  # only the generating candidate works
+        assert len(order) == 2
+
+    def test_verify_unit_cap(self):
+        unit = {0: [((5, ()),)] * 4, 1: [((6, ()),)] * 4}
+        assert verify_unit(unit, max_combinations=3) is None
+
+
+class TestParallelChecker:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_clean_tree_rejects_all(self, workers):
+        result = ParallelLocalModelChecker(
+            TreeProtocol(), ReceivedImpliesSent(), workers=workers
+        ).run()
+        assert result.completed
+        assert not result.found_bug
+        assert result.stats.soundness_calls > 0
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_buggy_scenario_confirmed(self, workers):
+        protocol = scenario_protocol(buggy=True)
+        result = ParallelLocalModelChecker(
+            protocol,
+            PaxosAgreement(0),
+            budget=SearchBudget(max_seconds=10.0),
+            config=LMCConfig.optimized(),
+            workers=workers,
+        ).run(partial_choice_state())
+        assert result.found_bug
+        replayed = validate_bug(protocol, result.first_bug(), PaxosAgreement(0))
+        assert replayed.complete and replayed.violates
+
+    def test_agrees_with_sequential_on_2pc_bug(self):
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        sequential = LocalModelChecker(protocol, CommitValidity()).run()
+        parallel = ParallelLocalModelChecker(
+            protocol, CommitValidity(), workers=0
+        ).run()
+        assert sequential.found_bug and parallel.found_bug
+
+    def test_collection_is_deduplicated_and_capped(self):
+        protocol = scenario_protocol(buggy=True)
+        config = LMCConfig.optimized(max_collected_preliminary=10)
+        result = ParallelLocalModelChecker(
+            protocol,
+            PaxosAgreement(0),
+            budget=SearchBudget(max_seconds=5.0),
+            config=config,
+            workers=0,
+        ).run(partial_choice_state())
+        assert result.stats.soundness_calls <= 10
+
+    def test_algorithm_label(self):
+        checker = ParallelLocalModelChecker(
+            TreeProtocol(), ReceivedImpliesSent(), workers=0
+        )
+        assert checker.algorithm == "LMC-parallel"
+        assert checker.run().algorithm == "LMC-parallel"

@@ -1,0 +1,107 @@
+"""Tests for the per-node state stores and predecessor records."""
+
+import pytest
+
+from repro.core.records import (
+    LocalStateSpace,
+    NodeStateStore,
+    PredecessorLink,
+)
+from repro.model.events import InternalEvent, event_hash
+from repro.model.hashing import content_hash
+from repro.model.types import Action
+
+
+def make_link(prev_hash=None, name="e", generated=()):
+    event = InternalEvent(Action(node=0, name=name))
+    return PredecessorLink(
+        prev_hash=prev_hash,
+        event=event,
+        event_hash=event_hash(event),
+        consumed_hash=None,
+        generated_hashes=tuple(generated),
+    )
+
+
+class TestNodeStateStore:
+    def test_add_and_lookup(self):
+        store = NodeStateStore(0)
+        h = content_hash("s0")
+        record = store.add("s0", h, depth=0, local_depth=0, history=frozenset())
+        assert store.lookup(h) is record
+        assert store.lookup(12345) is None
+        assert len(store) == 1
+        assert record.index == 0
+
+    def test_duplicate_add_rejected(self):
+        store = NodeStateStore(0)
+        h = content_hash("s0")
+        store.add("s0", h, depth=0, local_depth=0, history=frozenset())
+        with pytest.raises(ValueError):
+            store.add("s0", h, depth=1, local_depth=0, history=frozenset())
+
+    def test_indices_follow_insertion(self):
+        store = NodeStateStore(0)
+        for i, state in enumerate(["a", "b", "c"]):
+            record = store.add(
+                state, content_hash(state), depth=i, local_depth=0, history=frozenset()
+            )
+            assert record.index == i
+
+    def test_retained_bytes_grows_with_records(self):
+        store = NodeStateStore(0)
+        store.add("a", content_hash("a"), 0, 0, frozenset())
+        before = store.retained_bytes()
+        store.add("b", content_hash("b"), 1, 0, frozenset())
+        assert store.retained_bytes() > before
+
+
+class TestPredecessorLinks:
+    def test_dedup_by_prev_and_event(self):
+        store = NodeStateStore(0)
+        record = store.add("a", content_hash("a"), 0, 0, frozenset())
+        link = make_link(prev_hash=1)
+        assert record.add_predecessor(link)
+        assert not record.add_predecessor(make_link(prev_hash=1))
+        assert record.add_predecessor(make_link(prev_hash=2))
+        assert len(record.predecessors) == 2
+
+    def test_links_with_different_events_kept(self):
+        store = NodeStateStore(0)
+        record = store.add("a", content_hash("a"), 0, 0, frozenset())
+        assert record.add_predecessor(make_link(prev_hash=1, name="x"))
+        assert record.add_predecessor(make_link(prev_hash=1, name="y"))
+        assert len(record.predecessors) == 2
+
+    def test_retained_bytes_counts_links_and_history(self):
+        store = NodeStateStore(0)
+        bare = store.add("a", content_hash("a"), 0, 0, frozenset())
+        loaded = store.add(
+            "b", content_hash("b"), 0, 0, history=frozenset({1, 2, 3})
+        )
+        loaded.add_predecessor(make_link(prev_hash=1))
+        assert loaded.retained_bytes() > bare.retained_bytes()
+
+
+class TestLocalStateSpace:
+    def test_seed_marks_records(self):
+        space = LocalStateSpace((0, 1))
+        record = space.seed(0, "live0")
+        assert record.seed
+        assert record.is_initial
+        assert record.depth == 0
+        assert space.total_states() == 1
+
+    def test_max_depth_tracks_all_nodes(self):
+        space = LocalStateSpace((0, 1))
+        space.seed(0, "a")
+        space.seed(1, "b")
+        space.store(1).add("b2", content_hash("b2"), depth=5, local_depth=1, history=frozenset())
+        assert space.max_depth() == 5
+
+    def test_stores_are_per_node(self):
+        space = LocalStateSpace((0, 1))
+        space.seed(0, "same")
+        space.seed(1, "same")
+        assert space.total_states() == 2
+        assert len(space.store(0)) == 1

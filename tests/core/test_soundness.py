@@ -1,0 +1,154 @@
+"""Tests for soundness verification: sequence enumeration and greedy replay."""
+
+from repro.core.records import LocalStateSpace, PredecessorLink
+from repro.core.soundness import SequenceStep, SoundnessVerifier, replay_sequences
+from repro.model.events import DeliveryEvent, InternalEvent, event_hash
+from repro.model.hashing import content_hash
+from repro.model.types import Action, Message
+from repro.stats.counters import ExplorationStats
+
+
+def internal(node, name):
+    return InternalEvent(Action(node=node, name=name))
+
+
+def delivery(dest, src, payload):
+    return DeliveryEvent(Message(dest=dest, src=src, payload=payload))
+
+
+def step(event, consumed=None, generated=()):
+    return SequenceStep(event, consumed, tuple(generated))
+
+
+class TestReplay:
+    def test_empty_sequences_are_valid(self):
+        assert replay_sequences({0: (), 1: ()}) == ()
+
+    def test_local_events_always_enabled(self):
+        order = replay_sequences({0: (step(internal(0, "a")),)})
+        assert order is not None
+        assert len(order) == 1
+
+    def test_delivery_needs_generated_message(self):
+        msg_hash = 111
+        send = step(internal(0, "send"), generated=(msg_hash,))
+        recv = step(delivery(1, 0, "m"), consumed=msg_hash)
+        # send generates, recv consumes: valid in this order only.
+        assert replay_sequences({0: (send,), 1: (recv,)}) is not None
+        assert replay_sequences({0: (), 1: (recv,)}) is None
+
+    def test_consumption_respects_multiplicity(self):
+        msg_hash = 7
+        send_once = step(internal(0, "send"), generated=(msg_hash,))
+        recv = step(delivery(1, 0, "m"), consumed=msg_hash)
+        recv_again = step(delivery(1, 0, "m"), consumed=msg_hash)
+        # One generated copy cannot satisfy two consumptions.
+        assert (
+            replay_sequences({0: (send_once,), 1: (recv, recv_again)}) is None
+        )
+        send_twice = step(internal(0, "send"), generated=(msg_hash, msg_hash))
+        assert (
+            replay_sequences({0: (send_twice,), 1: (recv, recv_again)})
+            is not None
+        )
+
+    def test_cross_dependencies_resolved_greedily(self):
+        # 0 sends m1; 1 consumes m1 and sends m2; 0 consumes m2.
+        m1, m2 = 1, 2
+        seq0 = (
+            step(internal(0, "send"), generated=(m1,)),
+            step(delivery(0, 1, "m2"), consumed=m2),
+        )
+        seq1 = (step(delivery(1, 0, "m1"), consumed=m1, generated=(m2,)),)
+        order = replay_sequences({0: seq0, 1: seq1})
+        assert order is not None
+        assert len(order) == 3
+
+    def test_circular_wait_is_invalid(self):
+        # Each node's first event needs the other's message: deadlock.
+        m1, m2 = 1, 2
+        seq0 = (step(delivery(0, 1, "x"), consumed=m2, generated=(m1,)),)
+        seq1 = (step(delivery(1, 0, "y"), consumed=m1, generated=(m2,)),)
+        assert replay_sequences({0: seq0, 1: seq1}) is None
+
+    def test_order_interleaves_nodes(self):
+        m1 = 5
+        seq0 = (step(internal(0, "a")), step(delivery(0, 1, "m"), consumed=m1))
+        seq1 = (step(internal(1, "b"), generated=(m1,)),)
+        order = replay_sequences({0: seq0, 1: seq1})
+        assert order is not None
+        nodes = [event.node for event in order]
+        assert set(nodes) == {0, 1}
+
+
+class TestSequenceEnumeration:
+    def _space_with_chain(self):
+        """Node 0: seed -> s1 -> s2, with an extra alternative path to s2."""
+        space = LocalStateSpace((0,))
+        seed = space.seed(0, "seed")
+        store = space.store(0)
+        s1 = store.add("s1", content_hash("s1"), 1, 0, frozenset())
+        ev1 = internal(0, "e1")
+        s1.add_predecessor(
+            PredecessorLink(seed.hash, ev1, event_hash(ev1), None, ())
+        )
+        s2 = store.add("s2", content_hash("s2"), 2, 0, frozenset())
+        ev2 = internal(0, "e2")
+        s2.add_predecessor(
+            PredecessorLink(s1.hash, ev2, event_hash(ev2), None, ())
+        )
+        ev3 = internal(0, "e3")
+        s2.add_predecessor(
+            PredecessorLink(seed.hash, ev3, event_hash(ev3), None, ())
+        )
+        return space, seed, s1, s2
+
+    def test_all_simple_paths_enumerated(self):
+        space, _seed, _s1, s2 = self._space_with_chain()
+        verifier = SoundnessVerifier(space, ExplorationStats())
+        sequences = verifier._enumerate_sequences(s2)
+        lengths = sorted(len(seq) for seq in sequences)
+        assert lengths == [1, 2]  # seed->s2 direct, and seed->s1->s2
+
+    def test_seed_state_has_one_empty_sequence(self):
+        space, seed, _s1, _s2 = self._space_with_chain()
+        verifier = SoundnessVerifier(space, ExplorationStats())
+        assert verifier._enumerate_sequences(seed) == [()]
+
+    def test_self_reference_links_ignored(self):
+        space = LocalStateSpace((0,))
+        seed = space.seed(0, "seed")
+        store = space.store(0)
+        s1 = store.add("s1", content_hash("s1"), 1, 0, frozenset())
+        ev = internal(0, "e")
+        s1.add_predecessor(PredecessorLink(seed.hash, ev, event_hash(ev), None, ()))
+        loop = internal(0, "loop")
+        s1.add_predecessor(
+            PredecessorLink(s1.hash, loop, event_hash(loop), None, ())
+        )
+        verifier = SoundnessVerifier(space, ExplorationStats())
+        sequences = verifier._enumerate_sequences(s1)
+        assert len(sequences) == 1
+
+    def test_sequence_cap_respected(self):
+        space, _seed, _s1, s2 = self._space_with_chain()
+        verifier = SoundnessVerifier(
+            space, ExplorationStats(), max_sequences_per_node=1
+        )
+        sequences = verifier._enumerate_sequences(s2)
+        assert len(sequences) == 1
+
+    def test_is_state_sound_counts_calls(self):
+        space, _seed, _s1, s2 = self._space_with_chain()
+        stats = ExplorationStats()
+        verifier = SoundnessVerifier(space, stats)
+        witness = verifier.is_state_sound({0: s2})
+        assert witness is not None
+        assert stats.soundness_calls == 1
+        assert stats.soundness_sequences >= 1
+
+    def test_combination_cap_gives_up(self):
+        space, _seed, _s1, s2 = self._space_with_chain()
+        stats = ExplorationStats()
+        verifier = SoundnessVerifier(space, stats, max_combinations=0)
+        assert verifier.is_state_sound({0: s2}) is None

@@ -1,0 +1,176 @@
+"""Tests for system-state creation: GEN, OPT (pairwise + pruned)."""
+
+from typing import Dict, Optional
+
+from repro.core.records import LocalStateSpace
+from repro.core.system_states import (
+    combination_to_system_state,
+    enumerate_general,
+    enumerate_optimized,
+)
+from repro.invariants.base import DecomposableInvariant
+from repro.model.hashing import content_hash
+from repro.model.types import NodeId
+
+
+class ValueAgreement(DecomposableInvariant):
+    """Toy agreement: states are (value,) tuples; None value = undecided."""
+
+    name = "value-agreement"
+
+    def check(self, system):
+        values = {v for _n, (v,) in system.items() if v is not None}
+        return len(values) <= 1
+
+    def local_projection(self, node, state):
+        return state[0]
+
+
+class TripleConflict(ValueAgreement):
+    """Same projection, but declared non-pairwise (full-product path)."""
+
+    pairwise = False
+
+
+class CustomConflict(ValueAgreement):
+    """Same conflict expressed through an override (generate-and-filter)."""
+
+    pairwise = False
+
+    def projections_conflict(self, projections):
+        return len(set(projections.values())) >= 2
+
+
+def build_space(per_node: Dict[NodeId, list]) -> LocalStateSpace:
+    space = LocalStateSpace(tuple(sorted(per_node)))
+    records = {}
+    for node, states in per_node.items():
+        seed, *rest = states
+        records[(node, 0)] = space.seed(node, seed)
+        for i, state in enumerate(rest, start=1):
+            records[(node, i)] = space.store(node).add(
+                state, content_hash((node, state)), i, 0, frozenset()
+            )
+    return space
+
+
+def anchor_of(space, node, index=-1):
+    return space.store(node).records[index]
+
+
+class TestGeneral:
+    def test_full_product_anchored(self):
+        space = build_space({0: [("a",)], 1: [(None,), ("b",)], 2: [(None,)]})
+        anchor = anchor_of(space, 0)
+        combos = list(enumerate_general(space, 0, anchor))
+        assert len(combos) == 2  # node1 has two states, node2 one
+        for combo in combos:
+            assert combo[0] is anchor
+
+    def test_discarded_records_excluded(self):
+        space = build_space({0: [("a",)], 1: [(None,), ("b",)]})
+        space.store(1).records[1].discarded = True
+        combos = list(enumerate_general(space, 0, anchor_of(space, 0)))
+        assert len(combos) == 1
+
+    def test_combination_to_system_state(self):
+        space = build_space({0: [("a",)], 1: [("b",)]})
+        combo = next(enumerate_general(space, 0, anchor_of(space, 0)))
+        system = combination_to_system_state(combo)
+        assert system.get(0) == ("a",)
+        assert system.get(1) == ("b",)
+
+
+class TestPairwiseOpt:
+    def test_no_projection_on_anchor_means_nothing(self):
+        space = build_space({0: [(None,)], 1: [("a",)], 2: [("b",)]})
+        combos = list(
+            enumerate_optimized(space, 0, anchor_of(space, 0), ValueAgreement())
+        )
+        assert combos == []
+
+    def test_no_conflict_means_nothing(self):
+        space = build_space({0: [("a",)], 1: [("a",)], 2: [(None,)]})
+        combos = list(
+            enumerate_optimized(space, 0, anchor_of(space, 0), ValueAgreement())
+        )
+        assert combos == []
+
+    def test_conflicting_pair_completed_over_third_node(self):
+        space = build_space(
+            {0: [("a",)], 1: [(None,), ("b",)], 2: [(None,), (None,)]}
+        )
+        combos = list(
+            enumerate_optimized(space, 0, anchor_of(space, 0), ValueAgreement())
+        )
+        # pair (0:"a", 1:"b") completed over node2's two states
+        assert len(combos) == 2
+        for combo in combos:
+            assert combo[1].state == ("b",)
+
+    def test_completion_cap(self):
+        space = build_space({0: [("a",)], 1: [("b",)], 2: [(None,)]})
+        space.store(2).add((None, "x2"), content_hash("x2"), 1, 0, frozenset())
+        space.store(2).add((None, "y2"), content_hash("y2"), 2, 0, frozenset())
+        all_combos = list(
+            enumerate_optimized(space, 0, anchor_of(space, 0), ValueAgreement())
+        )
+        capped = list(
+            enumerate_optimized(
+                space, 0, anchor_of(space, 0), ValueAgreement(), completion_cap=1
+            )
+        )
+        assert len(all_combos) == 3
+        assert len(capped) == 1
+
+    def test_every_pairwise_combo_violates(self):
+        space = build_space(
+            {0: [("a",)], 1: [(None,), ("b",)], 2: [(None,), ("a",)]}
+        )
+        invariant = ValueAgreement()
+        for combo in enumerate_optimized(space, 0, anchor_of(space, 0), invariant):
+            assert not invariant.check(combination_to_system_state(combo))
+
+
+class TestFullProductOpt:
+    def test_pruned_product_matches_filtered_general(self):
+        space = build_space(
+            {0: [("a",), (None,)], 1: [(None,), ("b,")], 2: [(None,), ("c",)]}
+        )
+        invariant = TripleConflict()
+        anchor = anchor_of(space, 0, index=0)
+        optimized = {
+            tuple(sorted((n, r.index) for n, r in combo.items()))
+            for combo in enumerate_optimized(space, 0, anchor, invariant)
+        }
+        filtered = set()
+        for combo in enumerate_general(space, 0, anchor):
+            projections = {
+                n: invariant.local_projection(n, r.state)
+                for n, r in combo.items()
+                if invariant.local_projection(n, r.state) is not None
+            }
+            if invariant.projections_conflict(projections):
+                filtered.add(
+                    tuple(sorted((n, r.index) for n, r in combo.items()))
+                )
+        assert optimized == filtered
+
+    def test_custom_conflict_generate_and_filter(self):
+        space = build_space({0: [("a",)], 1: [(None,), ("b",)]})
+        combos = list(
+            enumerate_optimized(space, 0, anchor_of(space, 0), CustomConflict())
+        )
+        assert len(combos) == 1
+        assert combos[0][1].state == ("b",)
+
+    def test_zero_cost_when_nothing_projects(self):
+        space = build_space(
+            {0: [(None,)] * 1, 1: [(None,), (None,)], 2: [(None,)]}
+        )
+        combos = list(
+            enumerate_optimized(
+                space, 0, anchor_of(space, 0), TripleConflict()
+            )
+        )
+        assert combos == []

@@ -1,0 +1,192 @@
+"""Tests for the global model checking baseline."""
+
+import pytest
+
+from repro.explore.budget import BudgetClock, SearchBudget
+from repro.explore.global_checker import (
+    GlobalModelChecker,
+    apply_event,
+    enumerate_events,
+)
+from repro.invariants.base import PredicateInvariant
+from repro.model.events import DeliveryEvent, InternalEvent
+from repro.model.multiset import FrozenMultiset
+from repro.model.system_state import GlobalState
+from repro.protocols.chain import ChainOrder, ChainProtocol
+from repro.protocols.tree import ReceivedImpliesSent, TreeProtocol
+from repro.protocols.twophase import (
+    Atomicity,
+    CommitValidity,
+    EagerCommitCoordinator,
+    TwoPhaseCommit,
+)
+
+TRUE_INV = PredicateInvariant("true", lambda s: True)
+
+
+def initial_global(protocol):
+    return GlobalState(protocol.initial_system_state(), FrozenMultiset())
+
+
+class TestEventEnumeration:
+    def test_initial_tree_has_only_send_action(self):
+        protocol = TreeProtocol()
+        events = enumerate_events(protocol, initial_global(protocol))
+        assert len(events) == 1
+        assert isinstance(events[0], InternalEvent)
+        assert events[0].action.name == "send"
+
+    def test_delivery_events_enumerated_after_send(self):
+        protocol = TreeProtocol()
+        state = initial_global(protocol)
+        state = apply_event(protocol, state, enumerate_events(protocol, state)[0])
+        events = enumerate_events(protocol, state)
+        deliveries = [e for e in events if isinstance(e, DeliveryEvent)]
+        assert {e.message.dest for e in deliveries} == {1, 2}
+
+    def test_apply_internal_noop_returns_none(self):
+        protocol = ChainProtocol(3)
+        state = initial_global(protocol)
+        # chain start is not a noop; craft one via a protocol whose action
+        # handler ignores the action by running "start" twice.
+        after = apply_event(
+            protocol, state, enumerate_events(protocol, state)[0]
+        )
+        assert after is not None
+
+
+class TestExhaustiveSearch:
+    @pytest.mark.parametrize("strategy", ["bfs", "dfs"])
+    def test_tree_explores_all_strategies_equally(self, strategy):
+        protocol = TreeProtocol()
+        checker = GlobalModelChecker(
+            protocol, TRUE_INV, strategy=strategy, record_series=False
+        )
+        result = checker.run()
+        assert result.completed
+        assert not result.found_bug
+        assert result.stats.global_states == 11
+
+    def test_iddfs_completes_with_reexploration_overhead(self):
+        protocol = TreeProtocol()
+        result = GlobalModelChecker(protocol, TRUE_INV, strategy="iddfs").run()
+        assert result.completed
+        # The series reports distinct states per bound; the cumulative stats
+        # count the re-exploration work iterative deepening pays.
+        assert result.series.final().get("global_states") == 11
+        assert result.stats.global_states > 11
+
+    def test_bfs_and_dfs_visit_same_state_count(self):
+        protocol = TwoPhaseCommit(3)
+        bfs = GlobalModelChecker(protocol, TRUE_INV, strategy="bfs").run()
+        dfs = GlobalModelChecker(
+            protocol, TRUE_INV, strategy="dfs", record_series=False
+        ).run()
+        assert bfs.stats.global_states == dfs.stats.global_states
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalModelChecker(TreeProtocol(), TRUE_INV, strategy="zigzag")
+
+    def test_series_records_depths(self):
+        result = GlobalModelChecker(TreeProtocol(), TRUE_INV).run()
+        assert result.series is not None
+        assert result.series.depths()[0] == 0
+        assert result.series.max_depth() >= 4
+        memory = result.series.column("memory_bytes")
+        assert all(m > 0 for m in memory)
+
+    def test_invariant_holds_on_valid_runs(self):
+        result = GlobalModelChecker(TreeProtocol(), ReceivedImpliesSent()).run()
+        assert result.completed
+        assert not result.found_bug
+
+    def test_chain_order_never_violated_globally(self):
+        result = GlobalModelChecker(ChainProtocol(4), ChainOrder()).run()
+        assert result.completed and not result.found_bug
+
+
+class TestBugFinding:
+    def test_eager_commit_bug_found_with_trace(self):
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        result = GlobalModelChecker(protocol, CommitValidity()).run()
+        assert result.found_bug
+        bug = result.first_bug()
+        assert bug.kind == "invariant"
+        assert bug.trace, "bug must carry a witness trace"
+        assert "committed" in bug.description
+
+    def test_trace_replays_to_violating_state(self):
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        result = GlobalModelChecker(protocol, CommitValidity()).run()
+        bug = result.first_bug()
+        state = GlobalState(bug.initial_state, FrozenMultiset())
+        for event in bug.trace:
+            state = apply_event(protocol, state, event)
+            assert state is not None
+        assert state.system == bug.violating_state
+
+    def test_stop_on_first_bug_false_collects_more(self):
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        eager = GlobalModelChecker(
+            protocol, CommitValidity(), stop_on_first_bug=False
+        ).run()
+        assert len(eager.bugs) >= 1
+        assert eager.completed
+
+    def test_atomicity_not_violated_by_eager_bug(self):
+        # All nodes adopt the coordinator's single decision, so atomicity
+        # holds even in the buggy build: only commit-validity is broken.
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        result = GlobalModelChecker(protocol, Atomicity()).run()
+        assert result.completed and not result.found_bug
+
+
+class TestBudgets:
+    def test_depth_bound_truncates(self):
+        protocol = TreeProtocol()
+        bounded = GlobalModelChecker(
+            protocol, TRUE_INV, budget=SearchBudget(max_depth=2)
+        ).run()
+        full = GlobalModelChecker(protocol, TRUE_INV).run()
+        assert bounded.stats.global_states < full.stats.global_states
+        assert bounded.stop_reason == "depth bound reached"
+
+    def test_transition_budget_stops_search(self):
+        protocol = TwoPhaseCommit(3)
+        result = GlobalModelChecker(
+            protocol, TRUE_INV, budget=SearchBudget(max_transitions=10)
+        ).run()
+        assert not result.completed
+        assert "transition budget" in result.stop_reason
+
+    def test_state_budget_stops_search(self):
+        protocol = TwoPhaseCommit(3)
+        result = GlobalModelChecker(
+            protocol, TRUE_INV, budget=SearchBudget(max_states=5)
+        ).run()
+        assert not result.completed
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            SearchBudget(max_depth=-1)
+        with pytest.raises(ValueError):
+            SearchBudget(max_seconds=-0.1)
+
+    def test_budget_clock_reports(self):
+        clock = BudgetClock(SearchBudget(max_seconds=1000))
+        assert not clock.out_of_time()
+        assert clock.depth_allowed(10)
+        assert clock.stop_reason(0, 0) is None
+        tight = BudgetClock(SearchBudget(max_seconds=0.0))
+        assert tight.out_of_time()
+
+
+class TestIterativeDeepening:
+    def test_iddfs_series_grows_monotonically(self):
+        protocol = TreeProtocol()
+        result = GlobalModelChecker(protocol, TRUE_INV, strategy="iddfs").run()
+        assert result.completed
+        states = result.series.column("global_states")
+        assert list(states) == sorted(states)
+        assert states[-1] == 11

@@ -1,0 +1,93 @@
+"""Global-checker behaviour with duplicate in-flight messages.
+
+The network state is a multiset: the same message value can be in flight
+more than once (e.g. a retransmission racing its original).  Delivering
+either copy reaches the same successor, so the checker enumerates one
+delivery event per *distinct* message but must keep the multiplicities
+straight in the state identity.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.explore.global_checker import (
+    GlobalModelChecker,
+    apply_event,
+    enumerate_events,
+)
+from repro.invariants.base import PredicateInvariant
+from repro.model.multiset import FrozenMultiset
+from repro.model.protocol import Protocol
+from repro.model.system_state import GlobalState
+from repro.model.types import Action, HandlerResult, Message, NodeId
+
+TRUE = PredicateInvariant("true", lambda s: True)
+
+
+@dataclass(frozen=True)
+class DoubleSenderState:
+    node: NodeId
+    fired: bool = False
+    hits: int = 0
+
+
+class DoubleSender(Protocol):
+    """Node 0 sends the SAME message twice; node 1 counts deliveries."""
+
+    name = "double-sender"
+
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        return (0, 1)
+
+    def initial_state(self, node):
+        return DoubleSenderState(node=node)
+
+    def enabled_actions(self, state):
+        if state.node == 0 and not state.fired:
+            return (Action(node=0, name="fire"),)
+        return ()
+
+    def handle_action(self, state, action):
+        if action.name != "fire" or state.fired:
+            return HandlerResult(state)
+        message = Message(dest=1, src=0, payload="dup")
+        return HandlerResult(replace(state, fired=True), (message, message))
+
+    def handle_message(self, state, message):
+        if state.node != 1 or message.payload != "dup":
+            return HandlerResult(state)
+        return HandlerResult(replace(state, hits=state.hits + 1))
+
+
+def test_duplicate_sends_both_in_flight():
+    protocol = DoubleSender()
+    state = GlobalState(protocol.initial_system_state(), FrozenMultiset())
+    (fire,) = enumerate_events(protocol, state)
+    state = apply_event(protocol, state, fire)
+    assert len(state.network) == 2
+    assert len(state.network.distinct()) == 1
+
+
+def test_one_delivery_event_per_distinct_message():
+    protocol = DoubleSender()
+    state = GlobalState(protocol.initial_system_state(), FrozenMultiset())
+    state = apply_event(protocol, state, enumerate_events(protocol, state)[0])
+    events = enumerate_events(protocol, state)
+    assert len(events) == 1  # one event despite two copies
+
+
+def test_multiplicity_distinguishes_states():
+    protocol = DoubleSender()
+    state = GlobalState(protocol.initial_system_state(), FrozenMultiset())
+    state = apply_event(protocol, state, enumerate_events(protocol, state)[0])
+    after_one = apply_event(protocol, state, enumerate_events(protocol, state)[0])
+    assert hash(after_one) != hash(state)
+    assert after_one.network.count(Message(dest=1, src=0, payload="dup")) == 1
+
+
+def test_exhaustive_search_counts_both_deliveries():
+    protocol = DoubleSender()
+    result = GlobalModelChecker(protocol, TRUE).run()
+    assert result.completed
+    # states: initial, sent(2 copies), 1 hit (1 copy), 2 hits (0 copies)
+    assert result.stats.global_states == 4

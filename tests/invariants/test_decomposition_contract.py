@@ -1,0 +1,111 @@
+"""The LMC-OPT decomposition contract, checked against reachable states.
+
+``DecomposableInvariant`` documents the contract OPT's skipping relies on:
+*if a system state violates ``check``, its node states' projections must
+satisfy ``projections_conflict``* (pairwise, for ``pairwise`` invariants).
+These tests enumerate reachable system states of buggy builds (which do
+produce violations) and verify the contract on every single one — the
+evidence that LMC-OPT cannot skip a real bug for our shipped invariants.
+"""
+
+from itertools import combinations
+from typing import List
+
+from repro.explore.global_checker import (
+    GlobalModelChecker,
+)
+from repro.invariants.base import DecomposableInvariant, PredicateInvariant
+from repro.model.system_state import SystemState
+from repro.protocols.onepaxos import OnePaxosAgreement, OnePaxosAgreementAll
+from repro.protocols.onepaxos.scenarios import (
+    post_leaderchange_state,
+    scenario_protocol as onepaxos_scenario,
+)
+from repro.protocols.paxos import PaxosAgreement, PaxosAgreementAll
+from repro.protocols.paxos.scenarios import (
+    partial_choice_state,
+    scenario_protocol as paxos_scenario,
+)
+from repro.protocols.ring import AtMostOneLeader, GreedyRingElection
+from repro.protocols.twophase import CommitValidity, EagerCommitCoordinator
+
+
+def reachable_systems(protocol, initial=None, limit=20000) -> List[SystemState]:
+    """All distinct system states reachable from ``initial`` (exhaustive)."""
+    collected: List[SystemState] = []
+    seen = set()
+
+    def collector(system: SystemState) -> bool:
+        key = hash(system)
+        if key not in seen:
+            seen.add(key)
+            collected.append(system)
+        assert len(collected) <= limit, "state space larger than expected"
+        return True  # never report
+
+    checker = GlobalModelChecker(
+        protocol,
+        PredicateInvariant("collector", collector),
+        stop_on_first_bug=False,
+    )
+    result = checker.run(initial)
+    assert result.completed
+    return collected
+
+
+def assert_contract(invariant: DecomposableInvariant, systems) -> int:
+    """Check the contract on every system state; return violation count."""
+    violations = 0
+    for system in systems:
+        if invariant.check(system):
+            continue
+        violations += 1
+        projections = {
+            node: invariant.local_projection(node, state)
+            for node, state in system.items()
+        }
+        projections = {
+            node: value for node, value in projections.items() if value is not None
+        }
+        assert invariant.projections_conflict(projections), (
+            f"violating state without projection conflict: {system!r}"
+        )
+        if invariant.pairwise:
+            assert any(
+                invariant.projections_conflict({a: projections[a], b: projections[b]})
+                for a, b in combinations(sorted(projections), 2)
+            ), f"violation not pairwise-witnessed: {system!r}"
+    return violations
+
+
+def test_paxos_agreement_contract():
+    protocol = paxos_scenario(buggy=True)
+    systems = reachable_systems(protocol, partial_choice_state())
+    found = assert_contract(PaxosAgreement(0), systems)
+    assert found > 0, "the buggy space must contain real violations"
+
+
+def test_paxos_agreement_all_contract():
+    protocol = paxos_scenario(buggy=True)
+    systems = reachable_systems(protocol, partial_choice_state())
+    found = assert_contract(PaxosAgreementAll(), systems)
+    assert found > 0
+
+
+def test_onepaxos_agreement_contract():
+    protocol = onepaxos_scenario(buggy=True)
+    systems = reachable_systems(protocol, post_leaderchange_state(protocol))
+    assert assert_contract(OnePaxosAgreement(0), systems) > 0
+    assert assert_contract(OnePaxosAgreementAll(), systems) > 0
+
+
+def test_2pc_commit_validity_contract():
+    protocol = EagerCommitCoordinator(3, no_voters=(2,))
+    systems = reachable_systems(protocol)
+    assert assert_contract(CommitValidity(), systems) > 0
+
+
+def test_ring_leader_contract():
+    protocol = GreedyRingElection(3, initiators=(0,))
+    systems = reachable_systems(protocol)
+    assert assert_contract(AtMostOneLeader(), systems) > 0

@@ -1,0 +1,157 @@
+"""Conformance sweep: every shipped protocol keeps the Protocol contract."""
+
+import random
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import pytest
+
+from repro.model.conformance import check_protocol
+from repro.model.protocol import Protocol
+from repro.model.types import Action, HandlerResult, Message, NodeId
+from repro.protocols.chain import ChainProtocol
+from repro.protocols.echo import EchoProtocol
+from repro.protocols.fifo_wrapper import FifoStampedProtocol
+from repro.protocols.onepaxos import OnePaxosProtocol
+from repro.protocols.paxos import BuggyPaxosProtocol, PaxosProtocol
+from repro.protocols.randtree import RandTreeProtocol, SiblingMixupRandTree
+from repro.protocols.ring import GreedyRingElection, RingElection
+from repro.protocols.stream import StreamProtocol
+from repro.protocols.tree import TreeProtocol
+from repro.protocols.twophase import EagerCommitCoordinator, TwoPhaseCommit
+
+ALL_PROTOCOLS = [
+    TreeProtocol(),
+    TreeProtocol(track_forwarding=False),
+    ChainProtocol(4),
+    EchoProtocol(3),
+    StreamProtocol(3),
+    TwoPhaseCommit(3, no_voters=(2,)),
+    EagerCommitCoordinator(3, no_voters=(2,)),
+    RandTreeProtocol(4),
+    SiblingMixupRandTree(4),
+    RingElection(4),
+    GreedyRingElection(4),
+    PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),), require_init=False),
+    BuggyPaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),), require_init=False),
+    OnePaxosProtocol(
+        num_nodes=3, proposals=((2, 0, "v"),), fault_suspects=(2,),
+        require_init=False,
+    ),
+    FifoStampedProtocol(StreamProtocol(3), mode="reject"),
+    FifoStampedProtocol(StreamProtocol(3), mode="reassemble"),
+]
+
+
+@pytest.mark.parametrize(
+    "protocol", ALL_PROTOCOLS, ids=lambda p: p.name
+)
+def test_shipped_protocols_conform(protocol):
+    report = check_protocol(protocol, max_states=800)
+    assert report.ok, report.summary()
+    assert report.states_checked > 0
+    assert report.events_checked > 0
+
+
+# -- deliberately broken protocols must be caught ------------------------------
+
+
+@dataclass(frozen=True)
+class TinyState:
+    node: NodeId
+    done: bool = False
+
+
+class NonDeterministicProtocol(Protocol):
+    """Handler result depends on a random coin: a contract violation."""
+
+    name = "nondeterministic"
+
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        return (0, 1)
+
+    def initial_state(self, node):
+        return TinyState(node=node)
+
+    def enabled_actions(self, state):
+        if state.node == 0 and not state.done:
+            return (Action(node=0, name="go"),)
+        return ()
+
+    def handle_action(self, state, action):
+        if random.random() < 0.5:
+            return HandlerResult(replace(state, done=True))
+        return HandlerResult(state)
+
+    def handle_message(self, state, message):
+        return HandlerResult(state)
+
+
+class UnhashableStateProtocol(Protocol):
+    """Reaches a state containing a list: not content-hashable."""
+
+    name = "unhashable"
+
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        return (0,)
+
+    def initial_state(self, node):
+        return TinyState(node=node)
+
+    def enabled_actions(self, state):
+        if isinstance(state, TinyState) and not state.done:
+            return (Action(node=0, name="go"),)
+        return ()
+
+    def handle_action(self, state, action):
+        return HandlerResult((state, [1, 2, 3]))  # list inside a state
+
+    def handle_message(self, state, message):
+        return HandlerResult(state)
+
+
+class CrashingProtocol(Protocol):
+    """Crashes on foreign payloads instead of ignoring them."""
+
+    name = "crashing"
+
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        return (0,)
+
+    def initial_state(self, node):
+        return TinyState(node=node)
+
+    def enabled_actions(self, state):
+        return ()
+
+    def handle_action(self, state, action):
+        return HandlerResult(state)
+
+    def handle_message(self, state, message):
+        raise RuntimeError(f"unexpected payload {message.payload!r}")
+
+
+def test_nondeterminism_detected():
+    random.seed(1234)
+    report = check_protocol(NonDeterministicProtocol())
+    assert not report.ok
+    assert any("non-deterministic" in problem for problem in report.problems)
+
+
+def test_unhashable_state_detected():
+    report = check_protocol(UnhashableStateProtocol())
+    assert not report.ok
+    assert any("unhashable" in problem for problem in report.problems)
+
+
+def test_crash_on_foreign_payload_detected():
+    report = check_protocol(CrashingProtocol())
+    assert not report.ok
+    assert any("raised" in problem for problem in report.problems)
+
+
+def test_report_summary_renders():
+    report = check_protocol(CrashingProtocol())
+    text = report.summary()
+    assert "problems" in text
+    assert "RuntimeError" in text

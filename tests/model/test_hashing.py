@@ -1,0 +1,137 @@
+"""Tests for deterministic content hashing."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.hashing import (
+    UnhashableModelValue,
+    canonical_bytes,
+    content_hash,
+    content_size,
+    hash_many,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    a: int
+    b: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Other:
+    a: int
+    b: str
+
+
+# -- basic behaviour ---------------------------------------------------------
+
+
+def test_equal_values_hash_equal():
+    assert content_hash((1, "x")) == content_hash((1, "x"))
+
+
+def test_different_values_hash_differently():
+    assert content_hash((1, "x")) != content_hash((1, "y"))
+
+
+def test_type_tags_prevent_cross_type_collisions():
+    assert content_hash(1) != content_hash("1")
+    assert content_hash((1,)) != content_hash(1)
+    assert content_hash(True) != content_hash(1)
+    assert content_hash(False) != content_hash(0)
+    assert content_hash(None) != content_hash(0)
+    assert content_hash(b"x") != content_hash("x")
+
+
+def test_dataclass_hash_includes_class_name():
+    assert content_hash(Sample(1, "x")) != content_hash(Other(1, "x"))
+
+
+def test_dataclass_hash_covers_fields():
+    assert content_hash(Sample(1, "x")) != content_hash(Sample(2, "x"))
+    assert content_hash(Sample(1, "x")) == content_hash(Sample(1, "x"))
+
+
+def test_frozenset_hash_is_order_independent():
+    assert content_hash(frozenset([1, 2, 3])) == content_hash(frozenset([3, 1, 2]))
+
+
+def test_nested_structures():
+    value = (Sample(1, "x"), frozenset([(1, 2)]), None, True)
+    assert content_hash(value) == content_hash(
+        (Sample(1, "x"), frozenset([(1, 2)]), None, True)
+    )
+
+
+def test_mapping_encoding_is_key_sorted():
+    assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+
+def test_mapping_with_unorderable_keys_rejected():
+    with pytest.raises(UnhashableModelValue):
+        content_hash({1: "a", "b": 2})
+
+
+def test_mutable_values_rejected():
+    with pytest.raises(UnhashableModelValue):
+        content_hash([1, 2, 3])
+    with pytest.raises(UnhashableModelValue):
+        content_hash({1, 2})
+
+
+def test_content_size_positive_and_additive_shape():
+    small = content_size((1,))
+    large = content_size((1, 2, 3, 4, 5))
+    assert 0 < small < large
+
+
+def test_hash_many_round_trips():
+    values = [(1,), (2,), (3,)]
+    mapping = hash_many(values)
+    assert set(mapping.values()) == set(values)
+    for digest, value in mapping.items():
+        assert content_hash(value) == digest
+
+
+def test_float_and_int_distinct():
+    assert content_hash(1.0) != content_hash(1)
+
+
+# -- property-based ------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.floats(allow_nan=False),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.frozensets(st.integers(), max_size=4),
+    ),
+    max_leaves=10,
+)
+
+
+@given(values)
+def test_hash_is_deterministic(value):
+    assert content_hash(value) == content_hash(value)
+
+
+@given(values, values)
+def test_encoding_injective_on_samples(a, b):
+    if canonical_bytes(a) == canonical_bytes(b):
+        assert a == b  # equal encodings only for equal values
+
+
+@given(st.tuples(st.integers(), st.text(max_size=10)))
+def test_hash_fits_in_64_bits(value):
+    assert 0 <= content_hash(value) < 2**64

@@ -1,0 +1,113 @@
+"""Tests for the immutable multiset backing network states."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.multiset import FrozenMultiset
+
+
+def test_empty():
+    ms = FrozenMultiset()
+    assert len(ms) == 0
+    assert not ms
+    assert list(ms) == []
+    assert ms.distinct() == ()
+
+
+def test_add_and_count():
+    ms = FrozenMultiset(["a"]).add("a").add("b")
+    assert ms.count("a") == 2
+    assert ms.count("b") == 1
+    assert ms.count("c") == 0
+    assert len(ms) == 3
+
+
+def test_add_zero_returns_same_object():
+    ms = FrozenMultiset(["a"])
+    assert ms.add("b", 0) is ms
+
+
+def test_add_negative_rejected():
+    with pytest.raises(ValueError):
+        FrozenMultiset().add("a", -1)
+
+
+def test_add_all_empty_returns_same_object():
+    ms = FrozenMultiset(["a"])
+    assert ms.add_all([]) is ms
+
+
+def test_remove_single_occurrence():
+    ms = FrozenMultiset(["a", "a", "b"])
+    smaller = ms.remove("a")
+    assert smaller.count("a") == 1
+    assert ms.count("a") == 2  # original untouched
+
+
+def test_remove_last_occurrence_drops_element():
+    ms = FrozenMultiset(["a"]).remove("a")
+    assert "a" not in ms
+    assert len(ms) == 0
+
+
+def test_remove_missing_raises():
+    with pytest.raises(KeyError):
+        FrozenMultiset(["a"]).remove("b")
+
+
+def test_equality_ignores_insertion_order():
+    assert FrozenMultiset(["a", "b", "a"]) == FrozenMultiset(["b", "a", "a"])
+    assert hash(FrozenMultiset(["a", "b"])) == hash(FrozenMultiset(["b", "a"]))
+
+
+def test_multiplicity_matters_for_equality():
+    assert FrozenMultiset(["a"]) != FrozenMultiset(["a", "a"])
+
+
+def test_iteration_repeats_duplicates_in_canonical_order():
+    ms = FrozenMultiset([3, 1, 1, 2])
+    assert list(ms) == [1, 1, 2, 3]
+
+
+def test_items_canonical():
+    ms = FrozenMultiset(["b", "a", "b"])
+    assert ms.items() == (("a", 1), ("b", 2))
+
+
+def test_contains():
+    ms = FrozenMultiset(["x"])
+    assert "x" in ms
+    assert "y" not in ms
+
+
+def test_repr_mentions_multiplicity():
+    assert "×2" in repr(FrozenMultiset(["a", "a"]))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5)))
+def test_len_matches_input(items):
+    assert len(FrozenMultiset(items)) == len(items)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5)))
+def test_add_then_remove_round_trip(items):
+    ms = FrozenMultiset(items)
+    grown = ms.add(99)
+    assert grown.remove(99) == ms
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=5)),
+    st.lists(st.integers(min_value=0, max_value=5)),
+)
+def test_equality_is_order_insensitive(a, b):
+    assert (FrozenMultiset(a) == FrozenMultiset(b)) == (sorted(a) == sorted(b))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1))
+def test_remove_each_in_canonical_order_empties(items):
+    ms = FrozenMultiset(items)
+    for item in list(ms):
+        ms = ms.remove(item)
+    assert len(ms) == 0

@@ -1,0 +1,53 @@
+"""Tests for the Protocol base class helpers."""
+
+import pytest
+
+from repro.model.events import DeliveryEvent, InternalEvent
+from repro.model.protocol import broadcast
+from repro.model.types import Action, Message
+from repro.protocols.tree import Payload, TreeProtocol
+
+
+class TestBroadcast:
+    def test_targets_in_id_order(self):
+        sends = broadcast(1, (3, 0, 2), "payload")
+        assert [m.dest for m in sends] == [0, 2, 3]
+        assert all(m.src == 1 for m in sends)
+        assert all(m.payload == "payload" for m in sends)
+
+    def test_includes_self_when_listed(self):
+        sends = broadcast(0, (0, 1), "x")
+        assert [m.dest for m in sends] == [0, 1]
+
+    def test_empty_targets(self):
+        assert broadcast(0, (), "x") == ()
+
+
+class TestProtocolHelpers:
+    def test_initial_system_state_covers_all_nodes(self):
+        protocol = TreeProtocol()
+        system = protocol.initial_system_state()
+        assert system.node_ids == protocol.node_ids()
+        for node, state in system.items():
+            assert state == protocol.initial_state(node)
+
+    def test_num_nodes(self):
+        assert TreeProtocol().num_nodes() == 5
+
+    def test_execute_dispatches_delivery(self):
+        protocol = TreeProtocol()
+        message = Message(dest=2, src=0, payload=Payload(final_target=4))
+        event = DeliveryEvent(message)
+        result = protocol.execute(protocol.initial_state(2), event)
+        assert result.sends
+
+    def test_execute_dispatches_internal(self):
+        protocol = TreeProtocol()
+        event = InternalEvent(Action(node=0, name="send"))
+        result = protocol.execute(protocol.initial_state(0), event)
+        assert result.state.sent
+
+    def test_execute_rejects_unknown_event(self):
+        protocol = TreeProtocol()
+        with pytest.raises(ValueError):
+            protocol.execute(protocol.initial_state(0), "not-an-event")

@@ -1,0 +1,77 @@
+"""Tests for core value types and events."""
+
+import pytest
+
+from repro.model.events import DeliveryEvent, InternalEvent, event_hash, message_hashes
+from repro.model.hashing import content_hash
+from repro.model.types import (
+    Action,
+    HandlerResult,
+    LocalAssertionError,
+    Message,
+    local_assert,
+)
+
+
+def test_message_describe():
+    m = Message(dest=1, src=0, payload="hello")
+    text = m.describe()
+    assert "0->1" in text and "hello" in text
+
+
+def test_action_describe():
+    assert Action(node=2, name="init").describe() == "init@2"
+    assert "propose" in Action(node=1, name="propose", payload=(0, "v")).describe()
+
+
+def test_handler_result_noop_detection():
+    state = ("s",)
+    assert HandlerResult(state).is_noop(state)
+    assert not HandlerResult(("t",)).is_noop(state)
+    m = Message(dest=0, src=0, payload="x")
+    assert not HandlerResult(state, (m,)).is_noop(state)
+
+
+def test_local_assert_passes_and_fails():
+    local_assert(True, "fine")
+    with pytest.raises(LocalAssertionError) as exc:
+        local_assert(False, "broken", node=3)
+    assert exc.value.node == 3
+    assert isinstance(exc.value, AssertionError)
+
+
+def test_delivery_event_properties():
+    m = Message(dest=4, src=0, payload="p")
+    ev = DeliveryEvent(m)
+    assert ev.node == 4
+    assert ev.is_network
+    assert "deliver" in ev.describe()
+
+
+def test_internal_event_properties():
+    ev = InternalEvent(Action(node=1, name="timer"))
+    assert ev.node == 1
+    assert not ev.is_network
+    assert "timer" in ev.describe()
+
+
+def test_event_hash_stable_and_distinct():
+    m = Message(dest=1, src=0, payload="x")
+    assert event_hash(DeliveryEvent(m)) == event_hash(DeliveryEvent(m))
+    assert event_hash(DeliveryEvent(m)) != event_hash(
+        InternalEvent(Action(node=1, name="x"))
+    )
+
+
+def test_message_hashes_match_content_hash():
+    m1 = Message(dest=1, src=0, payload="a")
+    m2 = Message(dest=2, src=0, payload="b")
+    assert message_hashes((m1, m2)) == (content_hash(m1), content_hash(m2))
+    assert message_hashes(()) == ()
+
+
+def test_messages_are_ordered_values():
+    a = Message(dest=0, src=0, payload="a")
+    b = Message(dest=1, src=0, payload="a")
+    assert a < b
+    assert a == Message(dest=0, src=0, payload="a")

@@ -1,0 +1,195 @@
+"""Tests for the online checking loop and test drivers."""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.budget import SearchBudget
+from repro.model.system_state import SystemState
+from repro.online.crystalball import OnlineModelChecker
+from repro.online.driver import ImmediateDriver, paxos_online_driver
+from repro.online.injector import FreshIndexInjector, PaxosTestDriver, scan_indexes
+from repro.online.simulator import LiveRun
+from repro.protocols.paxos import (
+    BuggyPaxosProtocol,
+    PaxosAgreementAll,
+    PaxosProtocol,
+)
+from repro.protocols.tree import ReceivedImpliesSent, TreeProtocol
+
+
+def lmc_factory(protocol, invariant, seconds=2.0, drive=None):
+    def factory(snapshot):
+        if drive is not None:
+            snapshot = drive(snapshot)
+        return LocalModelChecker(
+            protocol,
+            invariant,
+            budget=SearchBudget(max_seconds=seconds),
+            config=LMCConfig.optimized(),
+        ).run(snapshot)
+
+    return factory
+
+
+class TestOnlineLoop:
+    def test_clean_system_reports_nothing(self):
+        protocol = TreeProtocol()
+        live = LiveRun(protocol, ImmediateDriver(), seed=0)
+        online = OnlineModelChecker(
+            live, lmc_factory(protocol, ReceivedImpliesSent()), check_interval=5.0
+        )
+        outcome = online.run(max_sim_seconds=20.0)
+        assert not outcome.found_bug
+        assert outcome.restarts == 4
+        assert len(outcome.history) == 4
+        assert all(not record.found_bug for record in outcome.history)
+
+    def test_max_restarts_bounds_loop(self):
+        protocol = TreeProtocol()
+        live = LiveRun(protocol, ImmediateDriver(), seed=0)
+        online = OnlineModelChecker(
+            live, lmc_factory(protocol, ReceivedImpliesSent()), check_interval=1.0
+        )
+        outcome = online.run(max_sim_seconds=1000.0, max_restarts=3)
+        assert outcome.restarts == 3
+
+    def test_invalid_interval_rejected(self):
+        protocol = TreeProtocol()
+        live = LiveRun(protocol, ImmediateDriver(), seed=0)
+        with pytest.raises(ValueError):
+            OnlineModelChecker(
+                live, lmc_factory(protocol, ReceivedImpliesSent()), check_interval=0
+            )
+
+    def test_hook_runs_every_interval(self):
+        protocol = TreeProtocol()
+        live = LiveRun(protocol, ImmediateDriver(), seed=0)
+        calls = []
+        online = OnlineModelChecker(
+            live,
+            lmc_factory(protocol, ReceivedImpliesSent()),
+            check_interval=2.0,
+            interval_hook=lambda lr: calls.append(lr.now),
+        )
+        online.run(max_sim_seconds=10.0)
+        assert len(calls) == 5
+
+
+class TestPaxosTestDriver:
+    def _snapshot_with_half_learned(self):
+        protocol = PaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v0"),), require_init=False
+        )
+        live = LiveRun(
+            protocol, paxos_online_driver(max_sleep=1.0), seed=11,
+            drop_probability=0.0,
+        )
+        live.run_for(60.0)
+        snapshot = live.snapshot()
+        # force half-learned by erasing node 2's learner verdict
+        from dataclasses import replace
+
+        blind = replace(snapshot.get(2), learners=())
+        return protocol, SystemState({0: snapshot.get(0), 1: snapshot.get(1), 2: blind})
+
+    def test_scan_indexes_finds_half_learned(self):
+        _protocol, snapshot = self._snapshot_with_half_learned()
+        half, max_index = scan_indexes(snapshot)
+        assert half == {0}
+        assert max_index == 0
+
+    def test_driver_contends_on_half_learned_index(self):
+        _protocol, snapshot = self._snapshot_with_half_learned()
+        driven = PaxosTestDriver().drive(snapshot)
+        pendings = {
+            node: state.pending for node, state in driven.items() if state.pending
+        }
+        # node 0 already proposed index 0; the highest-id eligible node (2)
+        # becomes the single contender.
+        assert set(pendings) == {2}
+        assert pendings[2][0][0] == 0
+
+    def test_driver_uses_fresh_index_without_contention(self):
+        protocol = PaxosProtocol(num_nodes=3, proposals=(), require_init=False)
+        snapshot = protocol.initial_system_state()
+        driven = PaxosTestDriver().drive(snapshot)
+        pendings = [
+            (node, state.pending)
+            for node, state in driven.items()
+            if state.pending
+        ]
+        assert len(pendings) == 1
+        assert pendings[0][1][0][0] == 0  # fresh index 0
+
+    def test_fresh_index_injector_round_robins(self):
+        protocol = PaxosProtocol(num_nodes=3, proposals=(), require_init=False)
+        live = LiveRun(protocol, paxos_online_driver(max_sleep=0.5), seed=3)
+        injector = FreshIndexInjector()
+        for _ in range(3):
+            injector(live)
+            live.run_for(20.0)
+        snapshot = live.snapshot()
+        proposers = {
+            node
+            for node, state in snapshot.items()
+            if state.proposer(0) or state.proposer(1) or state.proposer(2)
+        }
+        assert proposers == {0, 1, 2}
+
+
+class TestOnlineBugDetection:
+    def test_buggy_paxos_found_from_contended_snapshot(self):
+        """Deterministic mini §5.5: a forced half-learned snapshot + driver."""
+        protocol = BuggyPaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v0"),), require_init=False,
+            retransmit=True,
+        )
+        live = LiveRun(
+            protocol, paxos_online_driver(max_sleep=1.0), seed=11,
+            drop_probability=0.0,
+        )
+        live.run_for(60.0)
+        snapshot = live.snapshot()
+        from dataclasses import replace
+
+        # Node 2 never saw the Learns and never accepted: the fresh acceptor
+        # whose empty PrepareResponse triggers the value-selection bug.
+        blind = replace(snapshot.get(2), learners=(), acceptors=())
+        snapshot = SystemState(
+            {0: snapshot.get(0), 1: snapshot.get(1), 2: blind}
+        )
+        driven = PaxosTestDriver().drive(snapshot)
+        result = LocalModelChecker(
+            protocol,
+            PaxosAgreementAll(),
+            budget=SearchBudget(max_seconds=30.0),
+            config=LMCConfig.optimized(),
+        ).run(driven)
+        assert result.found_bug
+
+    def test_correct_paxos_clean_from_same_snapshot(self):
+        protocol = PaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v0"),), require_init=False,
+            retransmit=True,
+        )
+        live = LiveRun(
+            protocol, paxos_online_driver(max_sleep=1.0), seed=11,
+            drop_probability=0.0,
+        )
+        live.run_for(60.0)
+        snapshot = live.snapshot()
+        from dataclasses import replace
+
+        blind = replace(snapshot.get(2), learners=(), acceptors=())
+        snapshot = SystemState(
+            {0: snapshot.get(0), 1: snapshot.get(1), 2: blind}
+        )
+        driven = PaxosTestDriver().drive(snapshot)
+        result = LocalModelChecker(
+            protocol,
+            PaxosAgreementAll(),
+            budget=SearchBudget(max_seconds=30.0),
+            config=LMCConfig.optimized(),
+        ).run(driven)
+        assert not result.found_bug

@@ -1,0 +1,79 @@
+"""Additional driver and scheduling edge-case tests."""
+
+import random
+
+from repro.model.types import Action
+from repro.online.driver import Rule, RuleDriver, onepaxos_online_driver
+from repro.online.simulator import LiveRun
+from repro.protocols.onepaxos import OnePaxosProtocol
+from repro.protocols.paxos import PaxosProtocol
+from repro.online.driver import paxos_online_driver
+
+
+class TestRuleEdges:
+    def test_fixed_delay(self):
+        rule = Rule(min_delay=3.0, max_delay=3.0)
+        assert rule.sample_delay(random.Random(0)) == 3.0
+
+    def test_probability_one_is_plain_uniform(self):
+        rule = Rule(min_delay=1.0, max_delay=2.0, probability=1.0, period=100.0)
+        for _ in range(20):
+            delay = rule.sample_delay(random.Random(0))
+            assert delay <= 2.0  # no geometric tail added
+
+    def test_driver_covers_retry_actions(self):
+        driver = onepaxos_online_driver()
+        rng = random.Random(0)
+        for name in ("retry1", "util-retry", "propose", "suspect", "init"):
+            assert driver.schedule(Action(node=0, name=name), 0.0, rng) is not None
+
+    def test_paxos_driver_covers_retry(self):
+        driver = paxos_online_driver()
+        rng = random.Random(0)
+        assert driver.schedule(Action(node=0, name="retry"), 0.0, rng) is not None
+
+
+class TestLiveRunScheduling:
+    def test_suppressed_actions_never_fire(self):
+        protocol = PaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v0"),), require_init=False
+        )
+        driver = RuleDriver({}, default=None)  # suppress everything
+        live = LiveRun(protocol, driver, seed=0)
+        live.run_for(100.0)
+        assert live.events_executed == 0
+
+    def test_retransmission_keeps_firing_until_chosen(self):
+        protocol = PaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v0"),), require_init=False,
+            retransmit=True,
+        )
+        live = LiveRun(
+            protocol, paxos_online_driver(max_sleep=1.0), seed=3,
+            drop_probability=0.6,
+        )
+        live.run_for(600.0)
+        snapshot = live.snapshot()
+        # despite 60% drop, retransmission drives the proposal home
+        chosen = [
+            state.chosen_value(0)
+            for _node, state in snapshot.items()
+            if state.chosen_value(0) is not None
+        ]
+        assert chosen and set(chosen) == {"v0"}
+
+    def test_onepaxos_live_leaderchange_with_retransmit(self):
+        protocol = OnePaxosProtocol(
+            num_nodes=3, proposals=((2, 0, "v2"),), fault_suspects=(2,),
+            require_init=False, retransmit=True,
+        )
+        from repro.online.driver import onepaxos_online_driver
+
+        live = LiveRun(
+            protocol, onepaxos_online_driver(suspect_probability=1.0),
+            seed=5, drop_probability=0.2,
+        )
+        live.run_for(600.0)
+        snapshot = live.snapshot()
+        leaders = {state.believed_leader() for _n, state in snapshot.items()}
+        assert 2 in leaders  # the suspect eventually led somewhere

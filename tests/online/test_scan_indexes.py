@@ -1,0 +1,59 @@
+"""Edge cases of the snapshot index scan used by the test drivers."""
+
+from dataclasses import replace
+
+from repro.model.system_state import SystemState
+from repro.online.injector import scan_indexes
+from repro.protocols.paxos import PaxosProtocol
+from repro.protocols.paxos.messages import Ballot, Learn
+from repro.model.types import Message
+
+
+def choose(protocol, state, index, value):
+    learn = Learn(index=index, ballot=Ballot(1, 0), value=value)
+    for src in (0, 1):
+        state = protocol.handle_message(
+            state, Message(dest=state.node, src=src, payload=learn)
+        ).state
+    return state
+
+
+def test_empty_snapshot():
+    protocol = PaxosProtocol(num_nodes=3, proposals=(), require_init=False)
+    half, max_index = scan_indexes(protocol.initial_system_state())
+    assert half == set()
+    assert max_index == -1
+
+
+def test_fully_learned_index_is_not_half():
+    protocol = PaxosProtocol(num_nodes=3, proposals=(), require_init=False)
+    states = {
+        node: choose(protocol, protocol.initial_state(node), 0, "v")
+        for node in (0, 1, 2)
+    }
+    half, max_index = scan_indexes(SystemState(states))
+    assert half == set()
+    assert max_index == 0
+
+
+def test_half_learned_detection():
+    protocol = PaxosProtocol(num_nodes=3, proposals=(), require_init=False)
+    states = {
+        0: choose(protocol, protocol.initial_state(0), 2, "v"),
+        1: protocol.initial_state(1),
+        2: choose(protocol, protocol.initial_state(2), 2, "v"),
+    }
+    half, max_index = scan_indexes(SystemState(states))
+    assert half == {2}
+    assert max_index == 2
+
+
+def test_pending_counts_toward_max_index():
+    protocol = PaxosProtocol(num_nodes=3, proposals=(), require_init=False)
+    waiting = replace(protocol.initial_state(1), pending=((7, "x"),))
+    system = SystemState(
+        {0: protocol.initial_state(0), 1: waiting, 2: protocol.initial_state(2)}
+    )
+    half, max_index = scan_indexes(system)
+    assert half == set()
+    assert max_index == 7

@@ -1,0 +1,136 @@
+"""Tests for the live-run simulator and drivers."""
+
+import random
+
+import pytest
+
+from repro.model.types import Action
+from repro.online.driver import (
+    ImmediateDriver,
+    Rule,
+    RuleDriver,
+    SelectiveDriver,
+    onepaxos_online_driver,
+    paxos_online_driver,
+)
+from repro.online.simulator import LiveRun
+from repro.protocols.paxos import PaxosProtocol
+from repro.protocols.tree import TreeProtocol
+
+
+class TestDrivers:
+    def test_rule_delay_in_range(self):
+        rule = Rule(min_delay=1.0, max_delay=2.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            delay = rule.sample_delay(rng)
+            assert 1.0 <= delay <= 2.0
+
+    def test_zero_probability_suppresses(self):
+        assert Rule(probability=0.0).sample_delay(random.Random(0)) is None
+
+    def test_probabilistic_rule_matches_geometric_mean(self):
+        rule = Rule(min_delay=0.0, max_delay=0.0, probability=0.1, period=1.0)
+        rng = random.Random(7)
+        samples = [rule.sample_delay(rng) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        # Geometric(0.1) failures have mean 9.
+        assert 8.0 <= mean <= 10.0
+
+    def test_rule_driver_default_and_suppression(self):
+        driver = RuleDriver({"a": Rule(min_delay=5, max_delay=5)}, default=None)
+        rng = random.Random(0)
+        assert driver.schedule(Action(node=0, name="a"), 0.0, rng) == 5
+        assert driver.schedule(Action(node=0, name="b"), 0.0, rng) is None
+
+    def test_selective_driver(self):
+        driver = SelectiveDriver(["go"])
+        rng = random.Random(0)
+        assert driver.schedule(Action(node=0, name="go"), 0.0, rng) == 0.0
+        assert driver.schedule(Action(node=0, name="stop"), 0.0, rng) is None
+
+    def test_prebuilt_drivers_cover_action_names(self):
+        rng = random.Random(0)
+        paxos = paxos_online_driver()
+        assert paxos.schedule(Action(node=0, name="propose"), 0.0, rng) is not None
+        onepaxos = onepaxos_online_driver()
+        assert onepaxos.schedule(Action(node=0, name="suspect"), 0.0, rng) is not None
+
+
+class TestLiveRun:
+    def test_tree_run_completes(self):
+        live = LiveRun(TreeProtocol(), ImmediateDriver(), seed=1)
+        live.run_for(10.0)
+        snapshot = live.snapshot()
+        assert snapshot.get(0).sent
+        assert snapshot.get(4).received
+        assert live.idle()
+
+    def test_reproducibility_from_seed(self):
+        def run(seed):
+            protocol = PaxosProtocol(
+                num_nodes=3, proposals=((0, 0, "v0"),), require_init=False
+            )
+            live = LiveRun(
+                protocol, paxos_online_driver(max_sleep=5.0), seed=seed,
+                drop_probability=0.3,
+            )
+            live.run_for(100.0)
+            return live.snapshot()
+
+        assert run(3) == run(3)
+
+    def test_different_seeds_diverge(self):
+        def run(seed):
+            protocol = PaxosProtocol(
+                num_nodes=3, proposals=((0, 0, "v0"),), require_init=False
+            )
+            live = LiveRun(
+                protocol, paxos_online_driver(max_sleep=5.0), seed=seed,
+                drop_probability=0.5,
+            )
+            live.run_for(50.0)
+            return live.events_executed
+
+        outcomes = {run(seed) for seed in range(6)}
+        assert len(outcomes) > 1
+
+    def test_time_advances_even_when_idle(self):
+        live = LiveRun(TreeProtocol(), ImmediateDriver(), seed=0)
+        live.run_for(5.0)
+        live.run_for(5.0)
+        assert live.now == 10.0
+
+    def test_trace_recorded_when_enabled(self):
+        live = LiveRun(TreeProtocol(), ImmediateDriver(), seed=0, keep_trace=True)
+        live.run_for(10.0)
+        kinds = {entry.kind for entry in live.trace}
+        assert kinds == {"action", "deliver"}
+
+    def test_inject_action_executes_application_call(self):
+        protocol = PaxosProtocol(num_nodes=3, proposals=(), require_init=False)
+        live = LiveRun(protocol, paxos_online_driver(max_sleep=1.0), seed=0)
+        live.inject_action(Action(node=1, name="inject", payload=(0, "vX")))
+        live.run_for(30.0)
+        # the injected proposal must have been issued and decided
+        snapshot = live.snapshot()
+        assert snapshot.get(1).chosen_value(0) == "vX"
+
+    def test_lossy_network_loses_progress(self):
+        protocol = PaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v0"),), require_init=False
+        )
+        reliable = LiveRun(protocol, paxos_online_driver(1.0), seed=5)
+        reliable.run_for(50.0)
+        lossy = LiveRun(
+            protocol, paxos_online_driver(1.0), seed=5, drop_probability=0.95
+        )
+        lossy.run_for(50.0)
+        assert lossy.events_executed < reliable.events_executed
+
+    def test_snapshot_is_immutable_copy(self):
+        live = LiveRun(TreeProtocol(), ImmediateDriver(), seed=0)
+        before = live.snapshot()
+        live.run_for(10.0)
+        after = live.snapshot()
+        assert before != after

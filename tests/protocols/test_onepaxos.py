@@ -1,0 +1,238 @@
+"""Unit and scenario tests for 1Paxos and PaxosUtility."""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.global_checker import (
+    GlobalModelChecker,
+    apply_event,
+    enumerate_events,
+)
+from repro.model.multiset import FrozenMultiset
+from repro.model.protocol import ProtocolConfigError
+from repro.model.system_state import GlobalState
+from repro.model.types import Action, Message
+from repro.protocols.onepaxos import (
+    Learn1,
+    OnePaxosAgreement,
+    OnePaxosProtocol,
+    Propose1,
+    SingleActiveRoles,
+    Util,
+    acceptor_entry,
+    leader_entry,
+    parse_entry,
+)
+from repro.protocols.onepaxos.scenarios import (
+    post_leaderchange_state,
+    scenario_protocol,
+)
+
+
+def deliver(protocol, state, src, payload):
+    return protocol.handle_message(
+        state, Message(dest=state.node, src=src, payload=payload)
+    )
+
+
+class TestEntries:
+    def test_round_trip(self):
+        assert parse_entry(leader_entry(2)) == ("leader", 2)
+        assert parse_entry(acceptor_entry(1)) == ("acceptor", 1)
+
+    def test_garbage_is_unknown(self):
+        assert parse_entry("leader=xx")[0] == "unknown"
+        assert parse_entry("banana")[0] == "unknown"
+
+
+class TestInitialization:
+    def test_needs_three_nodes(self):
+        with pytest.raises(ProtocolConfigError):
+            OnePaxosProtocol(num_nodes=2)
+
+    def test_correct_init_separates_roles(self):
+        protocol = OnePaxosProtocol(num_nodes=3, require_init=False)
+        state = protocol.initial_state(0)
+        assert state.cached_leader == 0
+        assert state.cached_acceptor == 1  # *(++members.begin())
+
+    def test_buggy_init_collapses_roles(self):
+        protocol = OnePaxosProtocol(num_nodes=3, buggy_init=True, require_init=False)
+        state = protocol.initial_state(0)
+        # acceptor = *(members.begin()++): the first member, i.e. the leader.
+        assert state.cached_acceptor == state.cached_leader == 0
+
+    def test_believed_leader_defaults_to_first_member(self):
+        protocol = OnePaxosProtocol(num_nodes=3, require_init=False)
+        for node in protocol.node_ids():
+            assert protocol.initial_state(node).believed_leader() == 0
+
+
+class TestDataPlane:
+    def test_only_believed_leader_proposes(self):
+        protocol = OnePaxosProtocol(
+            num_nodes=3, proposals=((1, 0, "v"),), require_init=False
+        )
+        state = protocol.initial_state(1)  # has pending but is not leader
+        assert not protocol.enabled_actions(state)
+
+    def test_leader_proposes_to_cached_acceptor(self):
+        protocol = OnePaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v"),), require_init=False
+        )
+        state = protocol.initial_state(0)
+        result = protocol.handle_action(
+            state, Action(node=0, name="propose", payload=(0, "v"))
+        )
+        (send,) = result.sends
+        assert send.dest == 1  # the true initial acceptor
+        assert isinstance(send.payload, Propose1)
+
+    def test_buggy_leader_proposes_to_itself(self):
+        protocol = OnePaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v"),), buggy_init=True, require_init=False
+        )
+        state = protocol.initial_state(0)
+        result = protocol.handle_action(
+            state, Action(node=0, name="propose", payload=(0, "v"))
+        )
+        (send,) = result.sends
+        assert send.dest == 0  # loopback: the §5.6 symptom
+
+    def test_acceptor_first_accept_broadcasts_learn(self):
+        protocol = OnePaxosProtocol(num_nodes=3, require_init=False)
+        state = protocol.initial_state(1)
+        result = deliver(protocol, state, 0, Propose1(index=0, value="v"))
+        assert result.state.accepted_value(0) == "v"
+        assert len(result.sends) == 3
+        assert all(isinstance(m.payload, Learn1) for m in result.sends)
+
+    def test_acceptor_reproposal_reannounces_existing_choice(self):
+        protocol = OnePaxosProtocol(num_nodes=3, require_init=False)
+        state = protocol.initial_state(1)
+        state = deliver(protocol, state, 0, Propose1(index=0, value="v")).state
+        result = deliver(protocol, state, 2, Propose1(index=0, value="other"))
+        assert result.state == state
+        assert all(m.payload.value == "v" for m in result.sends)
+
+    def test_learner_takes_first_learn(self):
+        protocol = OnePaxosProtocol(num_nodes=3, require_init=False)
+        state = protocol.initial_state(2)
+        state = deliver(protocol, state, 1, Learn1(index=0, value="v")).state
+        assert state.chosen_value(0) == "v"
+        assert deliver(
+            protocol, state, 1, Learn1(index=0, value="w")
+        ).is_noop(state)
+
+
+class TestControlPlane:
+    def test_suspect_disabled_for_believed_leader(self):
+        protocol = OnePaxosProtocol(
+            num_nodes=3, fault_suspects=(0,), require_init=False
+        )
+        state = protocol.initial_state(0)  # node 0 believes it leads
+        assert not protocol.enabled_actions(state)
+
+    def test_suspect_proposes_leaderchange_through_utility(self):
+        protocol = OnePaxosProtocol(
+            num_nodes=3, fault_suspects=(2,), require_init=False
+        )
+        state = protocol.initial_state(2)
+        (action,) = protocol.enabled_actions(state)
+        assert action.name == "suspect"
+        result = protocol.handle_action(state, action)
+        assert not result.state.suspect_armed
+        assert result.sends
+        assert all(isinstance(m.payload, Util) for m in result.sends)
+
+    def test_full_leaderchange_round_converges(self):
+        protocol = OnePaxosProtocol(
+            num_nodes=3,
+            proposals=((2, 0, "v2"),),
+            fault_suspects=(2,),
+            require_init=False,
+        )
+        state = GlobalState(protocol.initial_system_state(), FrozenMultiset())
+        for _ in range(200):
+            events = enumerate_events(protocol, state)
+            successor = None
+            for event in events:
+                successor = apply_event(protocol, state, event)
+                if successor is not None:
+                    break
+            if successor is None:
+                break
+            state = successor
+        for node in protocol.node_ids():
+            node_state = state.system.get(node)
+            assert node_state.believed_leader() == 2
+            assert node_state.chosen_value(0) == "v2"
+
+    def test_utility_view_reads_entries_in_index_order(self):
+        protocol = OnePaxosProtocol(num_nodes=3, require_init=False)
+        state = protocol.initial_state(0)
+        # Fabricate two chosen utility entries: leader=2 then leader=1.
+        from repro.protocols.paxos.messages import Ballot
+        from repro.protocols.paxos.state import LearnerSlot
+
+        utility = state.utility
+        for index, entry in ((0, leader_entry(2)), (1, leader_entry(1))):
+            ballot = Ballot(1, 2)
+            utility = utility.with_learner(
+                index,
+                LearnerSlot(
+                    learns=frozenset({(0, ballot, entry), (1, ballot, entry)}),
+                    chosen=entry,
+                ),
+            )
+        from dataclasses import replace
+
+        state = replace(state, utility=utility)
+        assert state.believed_leader() == 1  # the later entry wins
+
+
+class TestScenario56:
+    def test_bug_found_from_snapshot(self):
+        protocol = scenario_protocol(buggy=True)
+        result = LocalModelChecker(
+            protocol, OnePaxosAgreement(0), config=LMCConfig.optimized()
+        ).run(post_leaderchange_state(protocol))
+        assert result.found_bug
+        assert "v0" in result.first_bug().description
+        assert "v2" in result.first_bug().description
+
+    def test_correct_build_is_clean(self):
+        protocol = scenario_protocol(buggy=False)
+        result = LocalModelChecker(
+            protocol, OnePaxosAgreement(0), config=LMCConfig.optimized()
+        ).run(post_leaderchange_state(protocol))
+        assert result.completed and not result.found_bug
+
+    def test_global_checker_agrees(self):
+        buggy = scenario_protocol(buggy=True)
+        result = GlobalModelChecker(buggy, OnePaxosAgreement(0)).run(
+            post_leaderchange_state(buggy)
+        )
+        assert result.found_bug
+        correct = scenario_protocol(buggy=False)
+        result = GlobalModelChecker(correct, OnePaxosAgreement(0)).run(
+            post_leaderchange_state(correct)
+        )
+        assert result.completed and not result.found_bug
+
+    def test_witness_is_the_loopback_story(self):
+        protocol = scenario_protocol(buggy=True)
+        result = LocalModelChecker(
+            protocol, OnePaxosAgreement(0), config=LMCConfig.optimized()
+        ).run(post_leaderchange_state(protocol))
+        described = " ".join(result.first_bug().trace_lines())
+        assert "propose@0" in described
+        assert "0->0" in described  # the self-addressed Propose1/Learn1
+
+    def test_local_roles_invariant_flags_buggy_init_instantly(self):
+        protocol = scenario_protocol(buggy=True)
+        result = LocalModelChecker(
+            protocol, SingleActiveRoles(true_initial_acceptor=1)
+        ).run(post_leaderchange_state(protocol))
+        assert result.found_bug

@@ -1,0 +1,144 @@
+"""Tests for 1Paxos retransmission and the online test driver."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.model.types import Action, Message
+from repro.online.injector import OnePaxosTestDriver
+from repro.model.system_state import SystemState
+from repro.protocols.onepaxos import (
+    Learn1,
+    OnePaxosAgreementAll,
+    OnePaxosProtocol,
+    Propose1,
+)
+
+
+def make_protocol(**kwargs):
+    defaults = dict(
+        num_nodes=3,
+        proposals=((0, 0, "v0"),),
+        require_init=False,
+    )
+    defaults.update(kwargs)
+    return OnePaxosProtocol(**defaults)
+
+
+class TestDataPlaneRetransmit:
+    def test_disabled_by_default(self):
+        protocol = make_protocol()
+        state = protocol.handle_action(
+            protocol.initial_state(0),
+            Action(node=0, name="propose", payload=(0, "v0")),
+        ).state
+        assert state.proposed1 == ()
+        assert all(a.name != "retry1" for a in protocol.enabled_actions(state))
+
+    def test_proposal_recorded_and_retry_enabled(self):
+        protocol = make_protocol(retransmit=True)
+        state = protocol.handle_action(
+            protocol.initial_state(0),
+            Action(node=0, name="propose", payload=(0, "v0")),
+        ).state
+        assert dict(state.proposed1) == {0: "v0"}
+        retries = [a for a in protocol.enabled_actions(state) if a.name == "retry1"]
+        assert len(retries) == 1
+
+    def test_retry_resends_without_state_change(self):
+        protocol = make_protocol(retransmit=True)
+        state = protocol.handle_action(
+            protocol.initial_state(0),
+            Action(node=0, name="propose", payload=(0, "v0")),
+        ).state
+        result = protocol.handle_action(
+            state, Action(node=0, name="retry1", payload=0)
+        )
+        assert result.state == state
+        (send,) = result.sends
+        assert isinstance(send.payload, Propose1)
+        assert send.dest == 1  # the true initial acceptor (correct build)
+
+    def test_learn_retires_outstanding_proposal(self):
+        protocol = make_protocol(retransmit=True)
+        state = protocol.handle_action(
+            protocol.initial_state(0),
+            Action(node=0, name="propose", payload=(0, "v0")),
+        ).state
+        learned = protocol.handle_message(
+            state, Message(dest=0, src=1, payload=Learn1(index=0, value="v0"))
+        ).state
+        assert learned.proposed1 == ()
+        assert all(
+            a.name != "retry1" for a in protocol.enabled_actions(learned)
+        )
+
+    def test_utility_retransmit_can_differ_from_data_plane(self):
+        split = make_protocol(retransmit=True, utility_retransmit=False)
+        assert split.retransmit and not split.utility_retransmit
+        assert not split.utility.retransmit
+        unified = make_protocol(retransmit=True)
+        assert unified.utility.retransmit
+
+
+class TestOnePaxosTestDriver:
+    def _snapshot_with_split_brain(self):
+        """Nodes 1,2 follow leader 2; node 0 still believes it leads."""
+        from repro.protocols.onepaxos.scenarios import (
+            post_leaderchange_state,
+            scenario_protocol,
+        )
+
+        protocol = scenario_protocol(buggy=True)
+        return protocol, post_leaderchange_state(protocol)
+
+    def test_drives_half_chosen_index_to_stale_leader(self):
+        protocol, snapshot = self._snapshot_with_split_brain()
+        # wipe node 0's pending so the driver has to create the proposal
+        bare0 = replace(snapshot.get(0), pending=())
+        snapshot = SystemState({0: bare0, 1: snapshot.get(1), 2: snapshot.get(2)})
+        driven = OnePaxosTestDriver().drive(snapshot)
+        # index 0 is chosen at nodes 1,2 but not 0; node 0 believes it leads
+        assert driven.get(0).pending
+        assert driven.get(0).pending[0][0] == 0
+
+    def test_fresh_index_given_to_every_self_leader(self):
+        protocol = OnePaxosProtocol(
+            num_nodes=3, proposals=(), require_init=False
+        )
+        snapshot = protocol.initial_system_state()
+        driven = OnePaxosTestDriver().drive(snapshot)
+        # only node 0 believes it leads initially
+        pendings = {n for n, st in driven.items() if st.pending}
+        assert pendings == {0}
+
+    def test_driver_preserves_other_nodes(self):
+        protocol, snapshot = self._snapshot_with_split_brain()
+        driven = OnePaxosTestDriver().drive(snapshot)
+        assert driven.get(1) == snapshot.get(1)
+
+
+class TestAgreementAll:
+    def test_detects_any_index_conflict(self):
+        protocol = make_protocol()
+        a = protocol.initial_state(0).with_chosen(5, "x")
+        b = protocol.initial_state(1).with_chosen(5, "y")
+        c = protocol.initial_state(2)
+        system = SystemState({0: a, 1: b, 2: c})
+        inv = OnePaxosAgreementAll()
+        assert not inv.check(system)
+        assert "5" in inv.describe_violation(system)
+        pa = inv.local_projection(0, a)
+        pb = inv.local_projection(1, b)
+        assert inv.projections_conflict({0: pa, 1: pb})
+        assert inv.local_projection(2, c) is None
+
+    def test_same_values_do_not_conflict(self):
+        protocol = make_protocol()
+        a = protocol.initial_state(0).with_chosen(5, "x")
+        b = protocol.initial_state(1).with_chosen(5, "x")
+        inv = OnePaxosAgreementAll()
+        assert inv.check(SystemState({0: a, 1: b, 2: protocol.initial_state(2)}))
+        assert not inv.projections_conflict(
+            {0: inv.local_projection(0, a), 1: inv.local_projection(1, b)}
+        )

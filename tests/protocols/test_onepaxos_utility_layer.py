@@ -1,0 +1,90 @@
+"""Tests for the PaxosUtility envelope layer of 1Paxos."""
+
+from repro.model.types import Action, Message
+from repro.protocols.onepaxos import OnePaxosProtocol, Util, leader_entry
+from repro.protocols.paxos.messages import Ballot, Prepare, PrepareResponse
+
+
+def make_protocol(**kwargs):
+    defaults = dict(num_nodes=3, require_init=False)
+    defaults.update(kwargs)
+    return OnePaxosProtocol(**defaults)
+
+
+class TestEnvelope:
+    def test_suspect_emits_wrapped_prepares(self):
+        protocol = make_protocol(fault_suspects=(2,))
+        state = protocol.initial_state(2)
+        result = protocol.handle_action(state, Action(node=2, name="suspect"))
+        assert len(result.sends) == 3
+        for message in result.sends:
+            assert isinstance(message.payload, Util)
+            assert isinstance(message.payload.inner, Prepare)
+        # the inner proposer slot exists at utility index 0
+        assert result.state.utility.proposer(0) is not None
+        assert result.state.utility.proposer(0).value == leader_entry(2)
+
+    def test_wrapped_message_delegates_to_inner_paxos(self):
+        protocol = make_protocol()
+        state = protocol.initial_state(1)
+        prepare = Util(inner=Prepare(index=0, ballot=Ballot(1, 2)))
+        result = protocol.handle_message(
+            state, Message(dest=1, src=2, payload=prepare)
+        )
+        # the inner acceptor promised; the response is wrapped again
+        assert result.state.utility.acceptor(0).promised == Ballot(1, 2)
+        (response,) = result.sends
+        assert isinstance(response.payload, Util)
+        assert isinstance(response.payload.inner, PrepareResponse)
+        assert response.dest == 2
+
+    def test_irrelevant_wrapped_message_is_noop(self):
+        protocol = make_protocol()
+        state = protocol.initial_state(1)
+        stale = Util(
+            inner=PrepareResponse(
+                index=0, ballot=Ballot(9, 9), accepted_ballot=None, accepted_value=None
+            )
+        )
+        result = protocol.handle_message(
+            state, Message(dest=1, src=0, payload=stale)
+        )
+        assert result.is_noop(state)
+
+    def test_unknown_payload_is_noop(self):
+        protocol = make_protocol()
+        state = protocol.initial_state(0)
+        result = protocol.handle_message(
+            state, Message(dest=0, src=1, payload="garbage")
+        )
+        assert result.is_noop(state)
+
+
+class TestConfigurationViews:
+    def test_next_utility_index_advances_past_chosen(self):
+        from repro.protocols.onepaxos.scenarios import (
+            post_leaderchange_state,
+            scenario_protocol,
+        )
+
+        protocol = scenario_protocol(buggy=False)
+        snapshot = post_leaderchange_state(protocol)
+        assert snapshot.get(2).next_utility_index() == 1  # entry 0 chosen
+        assert snapshot.get(0).next_utility_index() == 0  # saw nothing
+
+    def test_suspect_proposal_respects_existing_entries(self):
+        from repro.protocols.onepaxos.scenarios import (
+            post_leaderchange_state,
+            scenario_protocol,
+        )
+        from dataclasses import replace
+
+        protocol = make_protocol(fault_suspects=(1,))
+        base = scenario_protocol(buggy=False)
+        snapshot = post_leaderchange_state(base)
+        # node 1 knows leader=2 was chosen at utility index 0; arming its
+        # fault detector must target index 1, not overwrite index 0
+        armed = replace(snapshot.get(1), suspect_armed=True)
+        result = protocol.handle_action(armed, Action(node=1, name="suspect"))
+        assert result.state.utility.proposer(1) is not None
+        assert result.state.utility.proposer(0) is None

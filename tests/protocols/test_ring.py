@@ -1,0 +1,122 @@
+"""Tests for the ring leader election protocol."""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.global_checker import GlobalModelChecker
+from repro.model.protocol import ProtocolConfigError
+from repro.model.types import Action, Message
+from repro.protocols.ring import (
+    AtMostOneLeader,
+    ElectionToken,
+    GreedyRingElection,
+    RingElection,
+)
+
+
+def deliver(protocol, state, src, payload):
+    return protocol.handle_message(
+        state, Message(dest=state.node, src=src, payload=payload)
+    )
+
+
+class TestMechanics:
+    def test_config_validation(self):
+        with pytest.raises(ProtocolConfigError):
+            RingElection(1)
+        with pytest.raises(ProtocolConfigError):
+            RingElection(3, initiators=(9,))
+
+    def test_successor_wraps(self):
+        ring = RingElection(3)
+        assert ring.successor(0) == 1
+        assert ring.successor(2) == 0
+
+    def test_elect_sends_own_token_clockwise(self):
+        ring = RingElection(4, initiators=(2,))
+        result = ring.handle_action(
+            ring.initial_state(2), Action(node=2, name="elect")
+        )
+        (token,) = result.sends
+        assert token.dest == 3
+        assert token.payload == ElectionToken(uid=2)
+
+    def test_larger_token_forwarded(self):
+        ring = RingElection(4)
+        result = deliver(ring, ring.initial_state(1), 0, ElectionToken(uid=3))
+        (forward,) = result.sends
+        assert forward.dest == 2
+        assert forward.payload.uid == 3
+
+    def test_smaller_token_swallowed_and_wakes_candidacy(self):
+        ring = RingElection(4)
+        result = deliver(ring, ring.initial_state(2), 1, ElectionToken(uid=1))
+        assert result.state.started
+        (own,) = result.sends
+        assert own.payload.uid == 2
+
+    def test_own_token_returning_elects(self):
+        ring = RingElection(4, initiators=(3,))
+        state = ring.handle_action(
+            ring.initial_state(3), Action(node=3, name="elect")
+        ).state
+        result = deliver(ring, state, 2, ElectionToken(uid=3))
+        assert result.state.leader
+        assert not result.sends
+
+    def test_greedy_variant_elects_on_passing_maximum(self):
+        ring = GreedyRingElection(4)
+        result = deliver(ring, ring.initial_state(1), 0, ElectionToken(uid=3))
+        assert result.state.leader  # the bug: a bystander crowns itself
+
+
+class TestElectionVerdicts:
+    @pytest.mark.parametrize("initiators", [(0,), (2,), (0, 2), (0, 1, 2)])
+    def test_correct_ring_has_at_most_one_leader(self, initiators):
+        ring = RingElection(3, initiators=initiators)
+        invariant = AtMostOneLeader()
+        assert not GlobalModelChecker(ring, invariant).run().found_bug
+        assert not LocalModelChecker(ring, invariant).run().found_bug
+
+    def test_maximum_wins_on_full_run(self):
+        from repro.explore.global_checker import apply_event, enumerate_events
+        from repro.model.multiset import FrozenMultiset
+        from repro.model.system_state import GlobalState
+
+        ring = RingElection(4, initiators=(0,))
+        state = GlobalState(ring.initial_system_state(), FrozenMultiset())
+        while True:
+            events = enumerate_events(ring, state)
+            if not events:
+                break
+            successor = apply_event(ring, state, events[0])
+            if successor is None:
+                break
+            state = successor
+        leaders = [n for n, s in state.system.items() if s.leader]
+        assert leaders == [3]
+
+    @pytest.mark.parametrize("nodes", [3, 4])
+    def test_greedy_bug_found_by_both_checkers(self, nodes):
+        ring = GreedyRingElection(nodes, initiators=(0,))
+        invariant = AtMostOneLeader()
+        global_result = GlobalModelChecker(ring, invariant).run()
+        local_result = LocalModelChecker(
+            ring, invariant, config=LMCConfig.optimized()
+        ).run()
+        assert global_result.found_bug
+        assert local_result.found_bug
+        assert "multiple ring leaders" in local_result.first_bug().description
+
+    def test_opt_projection_distinguishes_leaders(self):
+        invariant = AtMostOneLeader()
+        ring = RingElection(3)
+        follower = ring.initial_state(1)
+        assert invariant.local_projection(1, follower) is None
+        from dataclasses import replace
+
+        crowned = replace(follower, leader=True)
+        assert invariant.local_projection(1, crowned) == 1
+        # two leaders project distinct values => default conflict fires
+        assert invariant.projections_conflict({1: 1, 2: 2})

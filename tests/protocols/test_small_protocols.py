@@ -1,0 +1,261 @@
+"""Unit tests for chain, echo, two-phase commit and randtree protocols."""
+
+import pytest
+
+from repro.model.protocol import ProtocolConfigError
+from repro.model.system_state import SystemState
+from repro.model.types import Action, Message
+from repro.protocols.chain import ChainOrder, ChainProtocol, Token
+from repro.protocols.echo import EchoProtocol, Ping, Pong, PongsImplyPing
+from repro.protocols.randtree import (
+    ChildrenSiblingsDisjoint,
+    JoinRequest,
+    RandTreeProtocol,
+    SiblingMixupRandTree,
+    SiblingNotice,
+    Welcome,
+)
+from repro.protocols.twophase import (
+    Atomicity,
+    CommitValidity,
+    Decision,
+    EagerCommitCoordinator,
+    TwoPhaseCommit,
+    Vote,
+    VoteRequest,
+)
+
+
+def deliver(protocol, state, src, payload, dest=None):
+    return protocol.handle_message(
+        state,
+        Message(dest=dest if dest is not None else state.node, src=src, payload=payload),
+    )
+
+
+class TestChain:
+    def test_config_validation(self):
+        with pytest.raises(ProtocolConfigError):
+            ChainProtocol(1)
+
+    def test_start_forwards_with_hop_count(self):
+        protocol = ChainProtocol(3)
+        result = protocol.handle_action(
+            protocol.initial_state(0), Action(node=0, name="start")
+        )
+        assert result.state.seen
+        (send,) = result.sends
+        assert send.dest == 1 and send.payload == Token(hops=1)
+
+    def test_middle_node_increments_hops(self):
+        protocol = ChainProtocol(3)
+        result = deliver(protocol, protocol.initial_state(1), 0, Token(hops=1))
+        assert result.state.hops_when_seen == 1
+        (send,) = result.sends
+        assert send.payload == Token(hops=2)
+
+    def test_last_node_absorbs(self):
+        protocol = ChainProtocol(3)
+        result = deliver(protocol, protocol.initial_state(2), 1, Token(hops=2))
+        assert result.state.seen and not result.sends
+
+    def test_seen_node_ignores_token(self):
+        protocol = ChainProtocol(3)
+        state = deliver(protocol, protocol.initial_state(1), 0, Token(hops=1)).state
+        assert deliver(protocol, state, 0, Token(hops=5)).is_noop(state)
+
+    def test_order_invariant(self):
+        protocol = ChainProtocol(3)
+        seen = protocol.initial_state(1)
+        seen = deliver(protocol, seen, 0, Token(hops=1)).state
+        good = SystemState(
+            {0: protocol.initial_state(0), 1: protocol.initial_state(1), 2: protocol.initial_state(2)}
+        )
+        assert ChainOrder().check(good)
+        gap = SystemState(
+            {0: protocol.initial_state(0), 1: seen, 2: protocol.initial_state(2)}
+        )
+        assert not ChainOrder().check(gap)
+        assert "gap" in ChainOrder().describe_violation(gap)
+
+
+class TestEcho:
+    def test_initiator_pings_once(self):
+        protocol = EchoProtocol(3)
+        state = protocol.initial_state(0)
+        (action,) = protocol.enabled_actions(state)
+        result = protocol.handle_action(state, action)
+        assert result.state.pinged
+        assert len(result.sends) == 3
+        assert not protocol.enabled_actions(result.state)
+
+    def test_pong_broadcast_on_first_ping(self):
+        protocol = EchoProtocol(3)
+        result = deliver(protocol, protocol.initial_state(1), 0, Ping())
+        assert result.state.ponged
+        assert len(result.sends) == 3
+        assert all(m.payload == Pong(origin=1) for m in result.sends)
+
+    def test_second_ping_ignored(self):
+        protocol = EchoProtocol(3)
+        state = deliver(protocol, protocol.initial_state(1), 0, Ping()).state
+        assert deliver(protocol, state, 0, Ping()).is_noop(state)
+
+    def test_pongs_accumulate_distinct_origins(self):
+        protocol = EchoProtocol(3)
+        state = protocol.initial_state(2)
+        state = deliver(protocol, state, 0, Pong(origin=0)).state
+        state = deliver(protocol, state, 1, Pong(origin=1)).state
+        assert state.pongs_seen == frozenset({0, 1})
+        assert deliver(protocol, state, 0, Pong(origin=0)).is_noop(state)
+
+    def test_invariant_rejects_pong_before_ping(self):
+        protocol = EchoProtocol(3)
+        ponged = deliver(protocol, protocol.initial_state(1), 0, Ping()).state
+        bad = SystemState(
+            {0: protocol.initial_state(0), 1: ponged, 2: protocol.initial_state(2)}
+        )
+        assert not PongsImplyPing().check(bad)
+
+
+class TestTwoPhase:
+    def _coordinator_with_votes(self, protocol, votes):
+        state = protocol.handle_action(
+            protocol.initial_state(0), Action(node=0, name="begin")
+        ).state
+        result = None
+        for voter, yes in votes:
+            result = deliver(protocol, state, voter, Vote(voter=voter, yes=yes))
+            state = result.state
+        return state, result
+
+    def test_begin_broadcasts_vote_requests(self):
+        protocol = TwoPhaseCommit(3)
+        result = protocol.handle_action(
+            protocol.initial_state(0), Action(node=0, name="begin")
+        )
+        assert len(result.sends) == 3
+        assert all(isinstance(m.payload, VoteRequest) for m in result.sends)
+
+    def test_participants_vote_their_script(self):
+        protocol = TwoPhaseCommit(3, no_voters=(2,))
+        yes = deliver(protocol, protocol.initial_state(1), 0, VoteRequest())
+        no = deliver(protocol, protocol.initial_state(2), 0, VoteRequest())
+        assert yes.sends[0].payload.yes is True
+        assert no.sends[0].payload.yes is False
+        assert yes.state.my_vote is True
+        assert no.state.my_vote is False
+
+    def test_unanimous_yes_commits(self):
+        protocol = TwoPhaseCommit(3)
+        state, result = self._coordinator_with_votes(
+            protocol, [(0, True), (1, True), (2, True)]
+        )
+        assert state.decided is True
+        assert all(m.payload == Decision(commit=True) for m in result.sends)
+
+    def test_any_no_aborts(self):
+        protocol = TwoPhaseCommit(3, no_voters=(2,))
+        state, _ = self._coordinator_with_votes(protocol, [(0, True), (2, False)])
+        assert state.decided is False
+
+    def test_eager_coordinator_commits_on_first_yes(self):
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        state, _ = self._coordinator_with_votes(protocol, [(1, True)])
+        assert state.decided is True  # the bug
+
+    def test_decision_adopted_once(self):
+        protocol = TwoPhaseCommit(3)
+        state = deliver(
+            protocol, protocol.initial_state(1), 0, Decision(commit=True)
+        ).state
+        assert state.decided is True
+        again = deliver(protocol, state, 0, Decision(commit=False))
+        assert again.is_noop(state)
+
+    def test_atomicity_invariant(self):
+        protocol = TwoPhaseCommit(3)
+        committed = deliver(
+            protocol, protocol.initial_state(1), 0, Decision(commit=True)
+        ).state
+        aborted = deliver(
+            protocol, protocol.initial_state(2), 0, Decision(commit=False)
+        ).state
+        bad = SystemState({0: protocol.initial_state(0), 1: committed, 2: aborted})
+        assert not Atomicity().check(bad)
+        assert Atomicity().local_projection(1, committed) is True
+
+    def test_commit_validity_projections(self):
+        inv = CommitValidity()
+        protocol = TwoPhaseCommit(3, no_voters=(1,))
+        voted_no = deliver(protocol, protocol.initial_state(1), 0, VoteRequest()).state
+        committed = deliver(
+            protocol, protocol.initial_state(2), 0, Decision(commit=True)
+        ).state
+        assert inv.local_projection(1, voted_no) == "voted-no"
+        assert inv.local_projection(2, committed) == "committed"
+        both = deliver(protocol, voted_no, 0, Decision(commit=True)).state
+        assert inv.local_projection(1, both) == "committed+voted-no"
+        assert inv.projections_conflict({1: "committed+voted-no"})
+        assert inv.projections_conflict({1: "voted-no", 2: "committed"})
+        assert not inv.projections_conflict({1: "voted-no", 2: "voted-no"})
+
+
+class TestRandTree:
+    def test_join_targets_root(self):
+        protocol = RandTreeProtocol(4)
+        result = protocol.handle_action(
+            protocol.initial_state(2), Action(node=2, name="join")
+        )
+        (send,) = result.sends
+        assert send.dest == 0
+        assert send.payload == JoinRequest(joiner=2)
+
+    def test_root_adopts_and_notifies(self):
+        protocol = RandTreeProtocol(4)
+        root = protocol.initial_state(0)
+        first = deliver(protocol, root, 1, JoinRequest(joiner=1))
+        assert first.state.children == frozenset({1})
+        second = deliver(protocol, first.state, 2, JoinRequest(joiner=2))
+        assert second.state.children == frozenset({1, 2})
+        notices = [m for m in second.sends if isinstance(m.payload, SiblingNotice)]
+        welcomes = [m for m in second.sends if isinstance(m.payload, Welcome)]
+        assert len(notices) == 1 and notices[0].dest == 1
+        assert len(welcomes) == 1 and welcomes[0].payload.siblings == frozenset({1})
+
+    def test_full_node_forwards_to_first_child(self):
+        protocol = RandTreeProtocol(5, fanout=2)
+        root = protocol.initial_state(0)
+        root = deliver(protocol, root, 1, JoinRequest(joiner=1)).state
+        root = deliver(protocol, root, 2, JoinRequest(joiner=2)).state
+        result = deliver(protocol, root, 3, JoinRequest(joiner=3))
+        assert result.state == root  # no adoption
+        (forward,) = result.sends
+        assert forward.dest == 1
+        assert forward.payload == JoinRequest(joiner=3)
+
+    def test_welcome_sets_membership(self):
+        protocol = RandTreeProtocol(4)
+        state = deliver(
+            protocol,
+            protocol.initial_state(2),
+            0,
+            Welcome(parent=0, siblings=frozenset({1})),
+        ).state
+        assert state.joined and state.parent == 0
+        assert state.siblings == frozenset({1})
+
+    def test_buggy_adopt_violates_disjointness(self):
+        protocol = SiblingMixupRandTree(4)
+        inv = ChildrenSiblingsDisjoint()
+        root = protocol.initial_state(0)
+        root = deliver(protocol, root, 1, JoinRequest(joiner=1)).state
+        assert not inv.check_local(0, root)
+
+    def test_correct_adopt_keeps_disjointness(self):
+        protocol = RandTreeProtocol(4)
+        inv = ChildrenSiblingsDisjoint()
+        root = protocol.initial_state(0)
+        root = deliver(protocol, root, 1, JoinRequest(joiner=1)).state
+        root = deliver(protocol, root, 2, JoinRequest(joiner=2)).state
+        assert inv.check_local(0, root)

@@ -1,0 +1,120 @@
+"""Tests for the §2 tree primer protocol."""
+
+import pytest
+
+from repro.explore.global_checker import GlobalModelChecker, apply_event, enumerate_events
+from repro.core.checker import LocalModelChecker
+from repro.invariants.base import PredicateInvariant
+from repro.model.multiset import FrozenMultiset
+from repro.model.protocol import ProtocolConfigError
+from repro.model.system_state import GlobalState
+from repro.model.types import Action, Message
+from repro.protocols.tree import (
+    DEFAULT_CHILDREN,
+    Payload,
+    ReceivedImpliesSent,
+    TreeProtocol,
+)
+
+TRUE_INV = PredicateInvariant("true", lambda s: True)
+
+
+class TestProtocolMechanics:
+    def test_default_topology_has_five_nodes(self):
+        assert TreeProtocol().node_ids() == (0, 1, 2, 3, 4)
+
+    def test_origin_equal_target_rejected(self):
+        with pytest.raises(ProtocolConfigError):
+            TreeProtocol(origin=0, target=0)
+
+    def test_send_action_only_at_origin(self):
+        protocol = TreeProtocol()
+        assert protocol.enabled_actions(protocol.initial_state(0))
+        for node in (1, 2, 3, 4):
+            assert not protocol.enabled_actions(protocol.initial_state(node))
+
+    def test_send_produces_children_messages(self):
+        protocol = TreeProtocol()
+        result = protocol.handle_action(
+            protocol.initial_state(0), Action(node=0, name="send")
+        )
+        assert result.state.sent
+        assert {m.dest for m in result.sends} == set(DEFAULT_CHILDREN[0])
+
+    def test_interior_node_forwards(self):
+        protocol = TreeProtocol()
+        message = Message(dest=2, src=0, payload=Payload(final_target=4))
+        result = protocol.handle_message(protocol.initial_state(2), message)
+        assert {m.dest for m in result.sends} == set(DEFAULT_CHILDREN[2])
+        assert result.state.forwarded
+
+    def test_interior_node_forwards_once(self):
+        protocol = TreeProtocol()
+        message = Message(dest=2, src=0, payload=Payload(final_target=4))
+        once = protocol.handle_message(protocol.initial_state(2), message)
+        twice = protocol.handle_message(once.state, message)
+        assert twice.is_noop(once.state)
+
+    def test_target_sets_received_and_stops(self):
+        protocol = TreeProtocol()
+        message = Message(dest=4, src=2, payload=Payload(final_target=4))
+        result = protocol.handle_message(protocol.initial_state(4), message)
+        assert result.state.received
+        assert not result.sends
+
+    def test_stateless_mode_interior_nodes_never_change(self):
+        protocol = TreeProtocol(track_forwarding=False)
+        message = Message(dest=2, src=0, payload=Payload(final_target=4))
+        result = protocol.handle_message(protocol.initial_state(2), message)
+        assert result.state == protocol.initial_state(2)
+        assert result.sends
+
+    def test_render_matches_paper_notation(self):
+        protocol = TreeProtocol()
+        system = protocol.initial_system_state()
+        assert protocol.render(system) == "-----"
+
+    def test_unknown_payload_ignored(self):
+        protocol = TreeProtocol()
+        message = Message(dest=1, src=0, payload="garbage")
+        assert protocol.handle_message(
+            protocol.initial_state(1), message
+        ).is_noop(protocol.initial_state(1))
+
+
+class TestPrimerNumbers:
+    """The quantitative story of §2 (Figs. 3-4)."""
+
+    def test_global_state_count_stateless(self):
+        protocol = TreeProtocol(track_forwarding=False)
+        result = GlobalModelChecker(protocol, TRUE_INV).run()
+        # The paper's Fig. 3 draws 12 boxes including duplicates; the
+        # deduplicated reachable count for this topology is 11.
+        assert result.stats.global_states == 11
+
+    def test_lmc_system_states_far_fewer(self):
+        protocol = TreeProtocol(track_forwarding=False)
+        local = LocalModelChecker(protocol, ReceivedImpliesSent()).run()
+        glob = GlobalModelChecker(protocol, ReceivedImpliesSent()).run()
+        # Fig. 4: "in total, only 4 system states are created in contrast
+        # with the 12 global states" — ours: 3 created + the seed checked.
+        assert local.stats.system_states_created == 3
+        assert local.stats.system_states_created < glob.stats.global_states
+
+    def test_invalid_combination_rejected(self):
+        protocol = TreeProtocol(track_forwarding=False)
+        local = LocalModelChecker(protocol, ReceivedImpliesSent()).run()
+        # "----r" is created, violates, and fails soundness verification.
+        assert local.stats.preliminary_violations == 1
+        assert not local.found_bug
+
+    def test_full_run_reaches_final_state(self):
+        protocol = TreeProtocol()
+        state = GlobalState(protocol.initial_system_state(), FrozenMultiset())
+        while True:
+            events = enumerate_events(protocol, state)
+            if not events:
+                break
+            state = apply_event(protocol, state, events[0])
+        assert state.system.get(0).sent
+        assert state.system.get(4).received

@@ -1,0 +1,128 @@
+"""Tests for counters, series and reporting."""
+
+import pytest
+
+from repro.stats.counters import ExplorationStats
+from repro.stats.reporting import format_depth_series, format_table
+from repro.stats.series import DepthSeries
+
+
+class TestExplorationStats:
+    def test_snapshot_contains_all_counters(self):
+        stats = ExplorationStats(transitions=5, node_states=2)
+        stats.add_phase_time("explore", 1.5)
+        snap = stats.snapshot()
+        assert snap["transitions"] == 5
+        assert snap["node_states"] == 2
+        assert snap["phase_explore_s"] == 1.5
+
+    def test_phase_time_accumulates(self):
+        stats = ExplorationStats()
+        stats.add_phase_time("soundness", 1.0)
+        stats.add_phase_time("soundness", 0.5)
+        assert stats.phase_seconds["soundness"] == 1.5
+
+    def test_merge_sums_everything(self):
+        a = ExplorationStats(transitions=1, preliminary_violations=2)
+        a.add_phase_time("explore", 1.0)
+        b = ExplorationStats(transitions=10, preliminary_violations=20)
+        b.add_phase_time("explore", 2.0)
+        b.add_phase_time("soundness", 3.0)
+        a.merge(b)
+        assert a.transitions == 11
+        assert a.preliminary_violations == 22
+        assert a.phase_seconds == {"explore": 3.0, "soundness": 3.0}
+
+
+class TestDepthSeries:
+    def test_record_and_query(self):
+        series = DepthSeries("X")
+        series.record(0, 0.1, {"states": 1})
+        series.record(3, 0.5, {"states": 10})
+        assert series.depths() == (0, 3)
+        assert series.max_depth() == 3
+        assert series.at_depth(3).get("states") == 10
+        assert series.at_depth(1) is None
+        assert series.final().elapsed_s == 0.5
+
+    def test_depths_must_increase(self):
+        series = DepthSeries("X")
+        series.record(2, 0.1, {})
+        with pytest.raises(ValueError):
+            series.record(2, 0.2, {})
+        with pytest.raises(ValueError):
+            series.record(1, 0.2, {})
+
+    def test_column_extraction(self):
+        series = DepthSeries("X")
+        series.record(0, 0.1, {"m": 5.0})
+        series.record(1, 0.2, {"m": 7.0})
+        assert series.column("m") == (5.0, 7.0)
+        assert series.column("elapsed_s") == (0.1, 0.2)
+        assert series.column("missing") == (0.0, 0.0)
+
+    def test_empty_series(self):
+        series = DepthSeries("X")
+        assert series.max_depth() == 0
+        assert series.final() is None
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [("a", 1), ("bbbb", 22222)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "22,222" in text
+
+    def test_format_table_floats(self):
+        text = format_table(["v"], [(0.000123,), (1234.5,), (2.5,)])
+        assert "0.000123" in text
+        assert "1,234" in text  # thousands grouping, no decimals
+        assert "2.5" in text
+
+    def test_format_table_booleans(self):
+        text = format_table(["flag"], [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_format_depth_series_merges_and_fills_gaps(self):
+        a = DepthSeries("A")
+        a.record(0, 0.1, {})
+        a.record(2, 0.3, {})
+        b = DepthSeries("B")
+        b.record(0, 0.2, {})
+        b.record(1, 0.4, {})
+        text = format_depth_series([a, b], "elapsed_s", "title")
+        assert text.startswith("title")
+        lines = text.splitlines()
+        assert len(lines) == 1 + 2 + 3  # title + header+rule + 3 depth rows
+        # depth 1 missing for A, depth 2 missing for B
+        assert any("-" in line for line in lines[3:])
+
+
+class TestRecordOrUpdate:
+    def test_appends_when_depth_grows(self):
+        series = DepthSeries("X")
+        series.record(0, 0.1, {"m": 1.0})
+        series.record_or_update(2, 0.5, {"m": 2.0})
+        assert series.depths() == (0, 2)
+
+    def test_replaces_final_sample_when_depth_static(self):
+        series = DepthSeries("X")
+        series.record(3, 0.1, {"m": 1.0})
+        series.record_or_update(3, 9.0, {"m": 7.0})
+        assert series.depths() == (3,)
+        assert series.final().elapsed_s == 9.0
+        assert series.final().get("m") == 7.0
+
+    def test_replaces_even_for_smaller_depth(self):
+        series = DepthSeries("X")
+        series.record(5, 0.1, {})
+        series.record_or_update(4, 2.0, {})
+        assert series.depths() == (5,)
+        assert series.final().elapsed_s == 2.0
+
+    def test_first_sample_appends(self):
+        series = DepthSeries("X")
+        series.record_or_update(0, 0.2, {})
+        assert series.depths() == (0,)

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+        assert "s55" in out and "s56" in out
+
+    def test_check_requires_known_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "nonexistent"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["check", "paxos"])
+        assert args.algorithm == "lmc-opt"
+        assert args.nodes == 3
+        assert not args.buggy
+
+
+class TestCheckCommand:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["check", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert "bugs          : 0" in out
+
+    def test_buggy_2pc_exits_one(self, capsys):
+        assert main(["check", "2pc", "--buggy"]) == 1
+        out = capsys.readouterr().out
+        assert "BUG" in out
+
+    def test_bdfs_algorithm(self, capsys):
+        assert main(["check", "tree", "--algorithm", "bdfs"]) == 0
+        out = capsys.readouterr().out
+        assert "global states" in out
+
+    def test_lmc_gen_algorithm(self, capsys):
+        assert main(["check", "chain", "--algorithm", "lmc-gen"]) == 0
+
+    def test_parallel_algorithm(self, capsys):
+        assert main(["check", "tree", "--algorithm", "lmc-parallel"]) == 0
+
+    def test_depth_bound_flag(self, capsys):
+        assert main(["check", "echo", "--max-depth", "2"]) == 0
+
+
+class TestScenarioCommand:
+    def test_s55_buggy_finds_bug(self, capsys):
+        assert main(["scenario", "s55"]) == 1
+        out = capsys.readouterr().out
+        assert "Paxos agreement violated" in out
+
+    def test_s55_correct_is_clean(self, capsys):
+        assert main(["scenario", "s55", "--correct"]) == 0
+
+    def test_s56_buggy_finds_bug(self, capsys):
+        assert main(["scenario", "s56"]) == 1
+        out = capsys.readouterr().out
+        assert "1Paxos agreement violated" in out
+
+    def test_s56_correct_is_clean(self, capsys):
+        assert main(["scenario", "s56", "--correct"]) == 0

@@ -1,0 +1,48 @@
+"""Package-level API hygiene tests."""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def test_every_module_imports_cleanly():
+    failures = []
+    for mod in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            importlib.import_module(mod.name)
+        except Exception as exc:  # noqa: BLE001
+            failures.append((mod.name, repr(exc)))
+    assert not failures, failures
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_all_resolves():
+    for package_name in (
+        "repro.model",
+        "repro.network",
+        "repro.explore",
+        "repro.core",
+        "repro.invariants",
+        "repro.online",
+        "repro.stats",
+        "repro.protocols.paxos",
+        "repro.protocols.onepaxos",
+    ):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", ()):
+            assert hasattr(package, name), f"{package_name}.{name}"
+
+
+def test_version_exposed():
+    assert repro.__version__
+
+
+def test_main_module_import_is_side_effect_free():
+    # ``python -m repro`` must run the CLI, but *importing* the module (as
+    # tooling like coverage and pkgutil does) must not.
+    importlib.import_module("repro.__main__")

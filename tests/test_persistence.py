@@ -1,0 +1,130 @@
+"""Tests for the bug-corpus serialization."""
+
+import json
+
+import pytest
+
+import repro.protocols.paxos.messages as paxos_messages
+import repro.protocols.paxos.state as paxos_state
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.model.events import DeliveryEvent, InternalEvent
+from repro.model.system_state import SystemState
+from repro.model.types import Action, Message
+from repro.persistence import (
+    ClassRegistry,
+    UnknownClassTag,
+    bug_from_dict,
+    bug_to_dict,
+    decode_value,
+    encode_value,
+    load_bugs,
+    save_bugs,
+)
+from repro.protocols.paxos import PaxosAgreement
+from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
+from repro.replay import validate_bug
+
+
+def paxos_registry():
+    return ClassRegistry.from_modules(paxos_messages, paxos_state)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            42,
+            "text",
+            3.5,
+            (1, "a", (2, 3)),
+            frozenset({1, 2, 3}),
+        ],
+    )
+    def test_round_trip_primitives(self, value):
+        registry = ClassRegistry()
+        assert decode_value(encode_value(value), registry) == value
+
+    def test_round_trip_dataclasses(self):
+        registry = paxos_registry()
+        ballot = paxos_messages.Ballot(3, 1)
+        payload = paxos_messages.PrepareResponse(
+            index=0, ballot=ballot, accepted_ballot=ballot, accepted_value="v"
+        )
+        assert decode_value(encode_value(payload), registry) == payload
+
+    def test_nested_state_round_trip(self):
+        registry = paxos_registry()
+        protocol = scenario_protocol(buggy=True)
+        state = partial_choice_state().get(0)
+        assert decode_value(encode_value(state), registry) == state
+
+    def test_unknown_tag_rejected(self):
+        empty = ClassRegistry()
+        ballot = paxos_messages.Ballot(1, 0)
+        with pytest.raises(UnknownClassTag):
+            decode_value(encode_value(ballot), empty)
+
+    def test_mutable_values_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value([1, 2, 3])
+
+    def test_encoding_is_json_safe(self):
+        value = (paxos_messages.Ballot(1, 0), frozenset({("a", 1)}))
+        json.dumps(encode_value(value))
+
+
+class TestBugRoundTrip:
+    def _confirmed_bug(self):
+        protocol = scenario_protocol(buggy=True)
+        result = LocalModelChecker(
+            protocol, PaxosAgreement(0), config=LMCConfig.optimized()
+        ).run(partial_choice_state())
+        return protocol, result.first_bug()
+
+    def test_bug_dict_round_trip(self):
+        protocol, bug = self._confirmed_bug()
+        registry = paxos_registry()
+        restored = bug_from_dict(bug_to_dict(bug), registry)
+        assert restored.description == bug.description
+        assert restored.trace == bug.trace
+        assert restored.violating_state == bug.violating_state
+        assert restored.initial_state == bug.initial_state
+
+    def test_restored_bug_still_replays(self, tmp_path):
+        protocol, bug = self._confirmed_bug()
+        path = tmp_path / "corpus.json"
+        save_bugs(str(path), [bug])
+        (restored,) = load_bugs(str(path), paxos_registry())
+        outcome = validate_bug(protocol, restored, PaxosAgreement(0))
+        assert outcome.complete and outcome.violates
+
+    def test_corpus_version_enforced(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "bugs": []}')
+        with pytest.raises(ValueError):
+            load_bugs(str(path), paxos_registry())
+
+    def test_event_kinds_round_trip(self):
+        registry = paxos_registry()
+        from repro.persistence import decode_event, encode_event
+
+        deliver = DeliveryEvent(
+            Message(dest=1, src=0, payload=paxos_messages.Prepare(0, paxos_messages.Ballot(1, 0)))
+        )
+        action = InternalEvent(Action(node=2, name="propose", payload=(0, "v")))
+        assert decode_event(encode_event(deliver), registry) == deliver
+        assert decode_event(encode_event(action), registry) == action
+
+
+class TestRegistry:
+    def test_from_modules_collects_dataclasses(self):
+        registry = paxos_registry()
+        assert registry.resolve("Ballot") is paxos_messages.Ballot
+        assert registry.resolve("PaxosNodeState") is paxos_state.PaxosNodeState
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            ClassRegistry([int])

@@ -1,0 +1,79 @@
+"""Tests for the witness-trace replayer."""
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.explore.global_checker import GlobalModelChecker
+from repro.model.events import DeliveryEvent, InternalEvent
+from repro.model.types import Action, Message
+from repro.protocols.paxos import PaxosAgreement
+from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
+from repro.protocols.tree import Payload, ReceivedImpliesSent, TreeProtocol
+from repro.protocols.twophase import CommitValidity, EagerCommitCoordinator
+from repro.replay import replay_trace, trace_to_script, validate_bug
+
+
+class TestReplayTrace:
+    def test_valid_linear_trace(self):
+        protocol = TreeProtocol()
+        trace = (
+            InternalEvent(Action(node=0, name="send")),
+            DeliveryEvent(Message(dest=2, src=0, payload=Payload(final_target=4))),
+            DeliveryEvent(Message(dest=4, src=2, payload=Payload(final_target=4))),
+        )
+        outcome = replay_trace(
+            protocol, protocol.initial_system_state(), trace, ReceivedImpliesSent()
+        )
+        assert outcome.complete
+        assert outcome.executed == 3
+        assert outcome.final_system.get(4).received
+        assert outcome.violates is False
+
+    def test_undeliverable_message_stops_replay(self):
+        protocol = TreeProtocol()
+        trace = (
+            # deliver before anything was sent: the message is not in flight
+            DeliveryEvent(Message(dest=4, src=2, payload=Payload(final_target=4))),
+        )
+        outcome = replay_trace(protocol, protocol.initial_system_state(), trace)
+        assert not outcome.complete
+        assert outcome.failed_at == 0
+        assert outcome.executed == 0
+
+    def test_empty_trace(self):
+        protocol = TreeProtocol()
+        outcome = replay_trace(
+            protocol, protocol.initial_system_state(), (), ReceivedImpliesSent()
+        )
+        assert outcome.complete
+        assert outcome.violates is False
+
+
+class TestValidateBug:
+    def test_lmc_paxos_witness_validates(self):
+        protocol = scenario_protocol(buggy=True)
+        invariant = PaxosAgreement(0)
+        result = LocalModelChecker(
+            protocol, invariant, config=LMCConfig.optimized()
+        ).run(partial_choice_state())
+        outcome = validate_bug(protocol, result.first_bug(), invariant)
+        assert outcome.complete
+        assert outcome.violates
+
+    def test_global_2pc_witness_validates(self):
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        invariant = CommitValidity()
+        result = GlobalModelChecker(protocol, invariant).run()
+        outcome = validate_bug(protocol, result.first_bug(), invariant)
+        assert outcome.complete
+        assert outcome.violates
+
+
+def test_trace_to_script_renders_comments():
+    protocol = scenario_protocol(buggy=True)
+    result = LocalModelChecker(
+        protocol, PaxosAgreement(0), config=LMCConfig.optimized()
+    ).run(partial_choice_state())
+    lines = trace_to_script(result.first_bug())
+    assert all(line.startswith("#") for line in lines)
+    assert any("violation" in line for line in lines)
+    assert len(lines) >= 3

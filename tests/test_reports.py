@@ -1,0 +1,67 @@
+"""Tests for bug reports and check results."""
+
+import pytest
+
+from repro.model.events import DeliveryEvent, InternalEvent
+from repro.model.system_state import SystemState
+from repro.model.types import Action, Message
+from repro.reports import BugReport, CheckResult
+from repro.stats.counters import ExplorationStats
+
+
+def make_report():
+    system = SystemState({0: "violating", 1: "fine"})
+    initial = SystemState({0: "init", 1: "init"})
+    trace = (
+        InternalEvent(Action(node=0, name="go")),
+        DeliveryEvent(Message(dest=1, src=0, payload="x")),
+    )
+    return BugReport(
+        kind="invariant",
+        description="something broke",
+        violating_state=system,
+        trace=trace,
+        initial_state=initial,
+    )
+
+
+class TestBugReport:
+    def test_trace_lines_numbered(self):
+        report = make_report()
+        lines = report.trace_lines()
+        assert len(lines) == 2
+        assert lines[0].strip().startswith("1.")
+        assert "go" in lines[0]
+        assert "deliver" in lines[1]
+
+    def test_summary_contains_description_and_trace(self):
+        text = make_report().summary()
+        assert "something broke" in text
+        assert "witness trace" in text
+        assert "go@0" in text
+
+
+class TestCheckResult:
+    def test_found_bug_property(self):
+        result = CheckResult(algorithm="X", completed=True)
+        assert not result.found_bug
+        result.bugs.append(make_report())
+        assert result.found_bug
+
+    def test_first_bug_raises_when_empty(self):
+        result = CheckResult(algorithm="X", completed=True)
+        with pytest.raises(LookupError):
+            result.first_bug()
+
+    def test_first_bug_returns_first(self):
+        result = CheckResult(algorithm="X", completed=False)
+        first = make_report()
+        result.bugs.append(first)
+        result.bugs.append(make_report())
+        assert result.first_bug() is first
+
+    def test_defaults(self):
+        result = CheckResult(algorithm="X", completed=True)
+        assert isinstance(result.stats, ExplorationStats)
+        assert result.series is None
+        assert result.stop_reason == ""
