@@ -23,20 +23,32 @@ from repro.core.parallel import ParallelLocalModelChecker
 from repro.core.config import LMCConfig
 from repro.explore.budget import SearchBudget
 from repro.explore.global_checker import GlobalModelChecker
+from repro.obs import (
+    JsonlEmitter,
+    MemoryEmitter,
+    NullEmitter,
+    TraceEmitter,
+    TraceSummary,
+)
 from repro.replay import ReplayOutcome, replay_trace, validate_bug
 from repro.reports import BugReport, CheckResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BugReport",
     "CheckResult",
     "GlobalModelChecker",
+    "JsonlEmitter",
     "LMCConfig",
     "LocalModelChecker",
+    "MemoryEmitter",
+    "NullEmitter",
     "ParallelLocalModelChecker",
     "ReplayOutcome",
     "SearchBudget",
+    "TraceEmitter",
+    "TraceSummary",
     "replay_trace",
     "validate_bug",
     "__version__",

@@ -8,6 +8,11 @@ Examples::
     python -m repro check 2pc --buggy --algorithm lmc-gen
     python -m repro scenario s55 --buggy
     python -m repro scenario s56
+    python -m repro trace paxos                    # traced run, JSONL out
+    python -m repro check paxos --trace-out t.jsonl --metrics-interval 0.5
+    python -m repro trace-report t.jsonl           # Fig. 13 / §5.4 tables
+
+See docs/OBSERVABILITY.md for the trace record schema.
 """
 
 from __future__ import annotations
@@ -23,7 +28,9 @@ from repro.explore.budget import SearchBudget
 from repro.explore.global_checker import GlobalModelChecker
 from repro.invariants.base import Invariant
 from repro.model.protocol import Protocol
+from repro.obs.emitter import NULL_EMITTER, JsonlEmitter, TraceEmitter
 from repro.reports import CheckResult
+from repro.stats.reporting import format_phase_breakdown
 
 #: protocol name -> (builder(nodes, buggy) -> (protocol, invariant), doc)
 WorkloadBuilder = Callable[[int, bool], Tuple[Protocol, Invariant]]
@@ -122,18 +129,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available workloads and scenarios")
 
+    def add_trace_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            default=None,
+            help="stream a structured JSONL trace to PATH "
+            "(see docs/OBSERVABILITY.md)",
+        )
+        command.add_argument(
+            "--metrics-interval",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="also emit trace metric samples every SECONDS of wall time "
+            "(default: only when the explored depth grows)",
+        )
+
+    def add_check_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument("workload", choices=sorted(WORKLOADS))
+        command.add_argument(
+            "--algorithm",
+            choices=("bdfs", "lmc-gen", "lmc-opt", "lmc-parallel"),
+            default="lmc-opt",
+        )
+        command.add_argument("--nodes", type=int, default=3)
+        command.add_argument("--buggy", action="store_true")
+        command.add_argument("--max-seconds", type=float, default=None)
+        command.add_argument("--max-depth", type=int, default=None)
+        command.add_argument("--workers", type=int, default=0)
+
     check = sub.add_parser("check", help="model check a named workload")
-    check.add_argument("workload", choices=sorted(WORKLOADS))
-    check.add_argument(
-        "--algorithm",
-        choices=("bdfs", "lmc-gen", "lmc-opt", "lmc-parallel"),
-        default="lmc-opt",
+    add_check_flags(check)
+    add_trace_flags(check)
+
+    trace = sub.add_parser(
+        "trace",
+        help="model check a workload with tracing on (check + default "
+        "--trace-out <workload>.trace.jsonl)",
     )
-    check.add_argument("--nodes", type=int, default=3)
-    check.add_argument("--buggy", action="store_true")
-    check.add_argument("--max-seconds", type=float, default=None)
-    check.add_argument("--max-depth", type=int, default=None)
-    check.add_argument("--workers", type=int, default=0)
+    add_check_flags(trace)
+    add_trace_flags(trace)
 
     scenario = sub.add_parser(
         "scenario", help="run a paper experiment from its live snapshot"
@@ -141,14 +177,43 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("name", choices=("s55", "s56"))
     scenario.add_argument("--buggy", action="store_true", default=None)
     scenario.add_argument("--correct", dest="buggy", action="store_false")
+    add_trace_flags(scenario)
+
+    report = sub.add_parser(
+        "trace-report",
+        help="render a captured trace file into Fig. 13 / §5.4 tables",
+    )
+    report.add_argument("trace_file", metavar="TRACE.jsonl")
 
     return parser
 
 
-def run_check(args: argparse.Namespace) -> CheckResult:
+def _make_emitter(args: argparse.Namespace) -> TraceEmitter:
+    """Build the trace sink the flags ask for (the null emitter otherwise).
+
+    ``repro trace`` defaults ``--trace-out`` to ``<workload>.trace.jsonl``;
+    the chosen path is written back onto ``args`` so ``main`` can report it.
+    """
+    path = getattr(args, "trace_out", None)
+    if path is None and args.command == "trace":
+        path = f"{args.workload}.trace.jsonl"
+        args.trace_out = path
+    return JsonlEmitter(path) if path else NULL_EMITTER
+
+
+def run_check(
+    args: argparse.Namespace, emitter: TraceEmitter = NULL_EMITTER
+) -> CheckResult:
+    """Run the ``check``/``trace`` subcommands: a named workload, one algorithm.
+
+    The emitter and metrics cadence thread into the LMC checkers; the B-DFS
+    baseline takes no per-phase instrumentation (its trace still carries
+    the final counter snapshot ``main`` emits).
+    """
     builder, _doc = WORKLOADS[args.workload]
     protocol, invariant = builder(args.nodes, args.buggy)
     budget = SearchBudget(max_depth=args.max_depth, max_seconds=args.max_seconds)
+    interval = getattr(args, "metrics_interval", None)
     if args.algorithm == "bdfs":
         return GlobalModelChecker(protocol, invariant, budget=budget).run()
     if args.algorithm == "lmc-parallel":
@@ -158,17 +223,30 @@ def run_check(args: argparse.Namespace) -> CheckResult:
             budget=budget,
             config=LMCConfig.optimized(),
             workers=args.workers or None,
+            emitter=emitter,
+            metrics_interval=interval,
         ).run()
     config = (
         LMCConfig.optimized()
         if args.algorithm == "lmc-opt"
         else LMCConfig.general()
     )
-    return LocalModelChecker(protocol, invariant, budget=budget, config=config).run()
+    return LocalModelChecker(
+        protocol,
+        invariant,
+        budget=budget,
+        config=config,
+        emitter=emitter,
+        metrics_interval=interval,
+    ).run()
 
 
-def run_scenario(args: argparse.Namespace) -> CheckResult:
+def run_scenario(
+    args: argparse.Namespace, emitter: TraceEmitter = NULL_EMITTER
+) -> CheckResult:
+    """Run a §5.5/§5.6 scenario from its live snapshot (optionally traced)."""
     buggy = True if args.buggy is None else args.buggy
+    interval = getattr(args, "metrics_interval", None)
     if args.name == "s55":
         from repro.protocols.paxos import PaxosAgreement
         from repro.protocols.paxos.scenarios import (
@@ -178,7 +256,11 @@ def run_scenario(args: argparse.Namespace) -> CheckResult:
 
         protocol = scenario_protocol(buggy)
         return LocalModelChecker(
-            protocol, PaxosAgreement(0), config=LMCConfig.optimized()
+            protocol,
+            PaxosAgreement(0),
+            config=LMCConfig.optimized(),
+            emitter=emitter,
+            metrics_interval=interval,
         ).run(partial_choice_state())
     from repro.protocols.onepaxos import OnePaxosAgreement
     from repro.protocols.onepaxos.scenarios import (
@@ -188,8 +270,25 @@ def run_scenario(args: argparse.Namespace) -> CheckResult:
 
     protocol = onepaxos_scenario(buggy)
     return LocalModelChecker(
-        protocol, OnePaxosAgreement(0), config=LMCConfig.optimized()
+        protocol,
+        OnePaxosAgreement(0),
+        config=LMCConfig.optimized(),
+        emitter=emitter,
+        metrics_interval=interval,
     ).run(post_leaderchange_state(protocol))
+
+
+def run_trace_report(args: argparse.Namespace) -> int:
+    """Render a captured trace file back into the paper's tables."""
+    from repro.obs.report import TraceSummary
+
+    try:
+        summary = TraceSummary.from_file(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summary.render())
+    return 0
 
 
 def print_result(result: CheckResult) -> None:
@@ -204,6 +303,11 @@ def print_result(result: CheckResult) -> None:
         print(f"system states : {stats.system_states_created}")
         print(f"preliminary   : {stats.preliminary_violations}")
         print(f"soundness     : {stats.soundness_calls}")
+    breakdown = format_phase_breakdown(stats.phase_seconds)
+    if breakdown:
+        print()
+        print(breakdown)
+        print()
     print(f"bugs          : {len(result.bugs)}")
     for bug in result.bugs:
         print()
@@ -220,11 +324,34 @@ def main(argv: Optional[list] = None) -> int:
         print("  s55        §5.5 injected Paxos bug from the live snapshot")
         print("  s56        §5.6 1Paxos initialization bug from the snapshot")
         return 0
-    if args.command == "check":
-        result = run_check(args)
-    else:
-        result = run_scenario(args)
+    if args.command == "trace-report":
+        return run_trace_report(args)
+    try:
+        emitter = _make_emitter(args)
+    except OSError as exc:
+        print(f"error: cannot open trace output: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.command in ("check", "trace"):
+            result = run_check(args, emitter)
+        else:
+            result = run_scenario(args, emitter)
+        # End-of-run bookkeeping: the merged final counters (which, for a
+        # parallel run, only exist after the fan-out) and a closing event,
+        # so trace-report always has an authoritative last metric record.
+        emitter.metric(**result.stats.snapshot())
+        emitter.event(
+            "run_end",
+            algorithm=result.algorithm,
+            completed=result.completed,
+            stop_reason=result.stop_reason,
+            bugs=len(result.bugs),
+        )
+    finally:
+        emitter.close()
     print_result(result)
+    if getattr(args, "trace_out", None):
+        print(f"\ntrace written : {args.trace_out}")
     return 1 if result.found_bug else 0
 
 

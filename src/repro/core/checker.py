@@ -48,6 +48,8 @@ from repro.model.protocol import Protocol
 from repro.model.system_state import SystemState
 from repro.model.types import Action, HandlerResult, LocalAssertionError, NodeId
 from repro.network.monotonic import MonotonicNetwork, StoredMessage
+from repro.obs.emitter import NULL_EMITTER, TraceEmitter
+from repro.obs.metrics import RunMetrics
 from repro.reports import BugReport, CheckResult
 from repro.stats.counters import ExplorationStats
 from repro.stats.series import DepthSeries
@@ -74,11 +76,19 @@ class LocalModelChecker:
         invariant: Invariant,
         budget: SearchBudget = SearchBudget.unbounded(),
         config: LMCConfig = LMCConfig(),
+        emitter: Optional[TraceEmitter] = None,
+        metrics_interval: Optional[float] = None,
     ):
         self.protocol = protocol
         self.invariant = invariant
         self.budget = budget
         self.config = config
+        #: Trace sink (docs/OBSERVABILITY.md); ``None`` selects the shared
+        #: zero-overhead null emitter.
+        self.emitter = emitter if emitter is not None else NULL_EMITTER
+        #: Wall-clock cadence (seconds) for trace metric samples while the
+        #: explored depth is flat; ``None`` samples only on depth growth.
+        self.metrics_interval = metrics_interval
         self.algorithm = (
             "LMC-OPT"
             if config.invariant_specific_creation
@@ -106,7 +116,14 @@ class LocalModelChecker:
         bound = self.config.local_event_bound
         while True:
             run_pass = _ExplorationPass(self, initial_system, clock, bound)
-            pass_outcome = run_pass.execute()
+            with self.emitter.span(
+                "pass", algorithm=self.algorithm, local_event_bound=bound
+            ) as pass_span:
+                pass_outcome = run_pass.execute()
+                pass_span.add(
+                    stop_reason=pass_outcome.reason,
+                    transitions=run_pass.stats.transitions,
+                )
             total_stats.merge(run_pass.stats)
             result.bugs.extend(run_pass.bugs)
             result.series = run_pass.series
@@ -166,11 +183,23 @@ class _ExplorationPass:
         self.series = DepthSeries(checker.algorithm)
         self.space = LocalStateSpace(self.protocol.node_ids())
         self.network = MonotonicNetwork(self.config.duplicate_limit)
+        self.emitter = checker.emitter
         self.verifier = SoundnessVerifier(
             self.space,
             self.stats,
             max_sequences_per_node=self.config.max_sequences_per_node,
             max_combinations=self.config.max_combinations_per_check,
+            emitter=self.emitter,
+        )
+        #: Counter/memory sampling into the depth series and the trace;
+        #: owns the was-ad-hoc "sample when depth grows" bookkeeping.
+        self.metrics = RunMetrics(
+            self.series,
+            self.stats,
+            clock.elapsed,
+            emitter=self.emitter,
+            interval=checker.metrics_interval,
+            extra=self._metric_gauges,
         )
         self.blocked_by_bound = False
         self._blocked_by_depth = False
@@ -180,7 +209,6 @@ class _ExplorationPass:
         # decomposition of §5.1 sums events across all three nodes), so the
         # series uses sum(per-node maxima).
         self._node_max_depth: Dict[NodeId, int] = {}
-        self._last_recorded_depth = -1
         self._retained_bytes = 0
         self._local_cursor: Dict[NodeId, int] = {}
         self._seed_records: Dict[NodeId, NodeStateRecord] = {}
@@ -199,25 +227,34 @@ class _ExplorationPass:
         """Run rounds to fixpoint, a stop criterion, or a confirmed bug."""
         try:
             self._seed()
+            round_number = 0
             while True:
                 round_start = time.perf_counter()
                 checked_before = self._checking_seconds()
-                try:
-                    executions = self._round()
-                finally:
-                    # Attribute the round's exploration time even when a stop
-                    # criterion (or confirmed bug) aborts it mid-round, so the
-                    # Fig. 13 phase decomposition always accounts for the
-                    # whole run.
-                    round_elapsed = time.perf_counter() - round_start
-                    self.stats.add_phase_time(
-                        "explore",
-                        max(
-                            0.0,
-                            round_elapsed
-                            - (self._checking_seconds() - checked_before),
-                        ),
-                    )
+                transitions_before = self.stats.transitions
+                round_number += 1
+                with self.emitter.span("round", number=round_number) as span:
+                    try:
+                        executions = self._round()
+                        span.add(executions=executions)
+                    finally:
+                        # Attribute the round's exploration time even when a
+                        # stop criterion (or confirmed bug) aborts it
+                        # mid-round, so the Fig. 13 phase decomposition
+                        # always accounts for the whole run.
+                        round_elapsed = time.perf_counter() - round_start
+                        span.add(
+                            transitions=self.stats.transitions
+                            - transitions_before
+                        )
+                        self.stats.add_phase_time(
+                            "explore",
+                            max(
+                                0.0,
+                                round_elapsed
+                                - (self._checking_seconds() - checked_before),
+                            ),
+                        )
                 self._record_depth_sample()
                 if executions == 0:
                     reason = (
@@ -239,6 +276,11 @@ class _ExplorationPass:
             self._record_depth_sample(force=True)
 
     def _seed(self) -> None:
+        """Install the live state (Fig. 9 lines 2-4): seed each ``LS_n``.
+
+        The initial system state is also invariant-checked directly — a
+        violation on the live state is sound by definition (§4.1).
+        """
         for node, state in self.initial_system.items():
             record = self.space.seed(node, state)
             self._seed_records[node] = record
@@ -295,6 +337,12 @@ class _ExplorationPass:
         return executions
 
     def _depth_allows(self, record: NodeStateRecord) -> bool:
+        """Depth-budget gate: may ``record`` still execute events?
+
+        Implements the bounded-search knob the §5 evaluation uses to plot
+        per-depth curves; remembers when the bound bit so the pass can
+        report "depth bound reached" instead of claiming exhaustion.
+        """
         limit = self.budget.max_depth
         if limit is not None and record.depth >= limit:
             self._blocked_by_depth = True
@@ -304,6 +352,13 @@ class _ExplorationPass:
     # -- handler execution ---------------------------------------------------------
 
     def _execute_delivery(self, record: NodeStateRecord, stored: StoredMessage) -> int:
+        """Execute one stored message on one node state (Fig. 9 line 6).
+
+        Runs the altered network handler ``H'_M`` of Fig. 8: the message is
+        taken from the shared monotonic ``I+`` and *not* consumed.  The
+        §4.2 redundant-execution rule (skip messages already in the state's
+        history) is applied first.  Returns handler executions done (0/1).
+        """
         if stored.hash in record.history:
             self.stats.history_skips += 1
             return 0
@@ -322,6 +377,11 @@ class _ExplorationPass:
         return 1
 
     def _execute_internal(self, record: NodeStateRecord, action: Action) -> int:
+        """Execute one enabled internal action (Fig. 9 line 7, handler ``H_A``).
+
+        Local events are unchanged by the Fig. 8 transformation — they touch
+        no network.  Returns handler executions done (always 1).
+        """
         self._tick_budget()
         try:
             result = self.protocol.handle_action(record.state, action)
@@ -337,6 +397,14 @@ class _ExplorationPass:
         return 1
 
     def _handle_assertion_failure(self, record: NodeStateRecord) -> None:
+        """Apply the §4.2 local-assertion policy to a failing handler.
+
+        "discard" drops the node state the handler would have produced (the
+        paper's choice: such assertions mostly flag messages delivered to
+        states no real run pairs them with); "ignore" treats the execution
+        as a no-op.  Seed states are never discarded — they came from a
+        real run.
+        """
         if self.config.assertion_policy == "discard" and not record.seed:
             record.discarded = True
             self.stats.states_discarded_by_assert += 1
@@ -351,6 +419,16 @@ class _ExplorationPass:
         result: HandlerResult,
         is_internal: bool,
     ) -> None:
+        """Fold a handler result into ``LS``/``I+`` (Fig. 9 lines 8-9).
+
+        Sends join the monotonic network; the successor state is deduped by
+        content hash and linked to its predecessor (the pointer structure
+        §4.1's soundness verification walks).  A genuinely new node state
+        triggers system-state creation via :meth:`_check_new_state`; a
+        state change without novelty may still add a predecessor pointer,
+        which under ``reverify_rejected`` re-opens cached rejected
+        combinations (§4.2's completeness patch).
+        """
         generated = message_hashes(result.sends)
         self.network.add_all(result.sends)
         new_hash = content_hash(result.state)
@@ -393,43 +471,75 @@ class _ExplorationPass:
     # -- invariant checking over temporary system states -----------------------------
 
     def _check_new_state(self, new_record: NodeStateRecord) -> None:
+        """Materialise and check system states anchored at a new node state.
+
+        Fig. 9 lines 10-16: every new node state triggers temporary
+        system-state creation (GEN: the full anchored product of §4;
+        OPT: only invariant-relevant combinations via the decomposition of
+        §4.2), invariant checks on each, and — for violations — soundness
+        verification.  Wall time lands in the ``system_states`` Fig. 13
+        bucket (soundness time is compensated out by
+        :meth:`_verify_and_report`); with tracing on, the batch becomes one
+        ``materialise`` span carrying the created/violation counts.
+        """
         if not self.config.create_system_states:
             return
         started = time.perf_counter()
-        try:
-            if isinstance(self.invariant, LocalInvariant):
-                self._check_local_invariant(new_record)
-                return
-            use_opt = self.config.invariant_specific_creation and isinstance(
-                self.invariant, DecomposableInvariant
-            )
-            if use_opt:
-                combos = enumerate_optimized(
-                    self.space,
-                    new_record.node,
-                    new_record,
-                    self.invariant,
-                    completion_cap=self.config.max_completions_per_conflict,
-                    projection_of=self._cached_projection,
+        created_before = self.stats.system_states_created
+        violations_before = self.stats.preliminary_violations
+        with self.emitter.span("materialise", node=new_record.node) as span:
+            try:
+                if isinstance(self.invariant, LocalInvariant):
+                    self._check_local_invariant(new_record)
+                    return
+                use_opt = self.config.invariant_specific_creation and isinstance(
+                    self.invariant, DecomposableInvariant
                 )
-            else:
-                combos = enumerate_general(self.space, new_record.node, new_record)
-            for checked, combo in enumerate(combos):
-                if checked % 64 == 63 and self.clock.out_of_time():
-                    raise _StopSearch("time budget exhausted", completed=False)
-                self.stats.system_states_created += 1
-                system = combination_to_system_state(combo)
-                self.stats.invariant_checks += 1
-                if self.invariant.check(system):
-                    continue
-                self.stats.preliminary_violations += 1
-                self._verify_and_report(combo, system)
-        finally:
-            self.stats.add_phase_time(
-                "system_states", time.perf_counter() - started
-            )
+                if use_opt:
+                    combos = enumerate_optimized(
+                        self.space,
+                        new_record.node,
+                        new_record,
+                        self.invariant,
+                        completion_cap=self.config.max_completions_per_conflict,
+                        projection_of=self._cached_projection,
+                    )
+                else:
+                    combos = enumerate_general(
+                        self.space, new_record.node, new_record
+                    )
+                for checked, combo in enumerate(combos):
+                    if checked % 64 == 63 and self.clock.out_of_time():
+                        raise _StopSearch(
+                            "time budget exhausted", completed=False
+                        )
+                    self.stats.system_states_created += 1
+                    system = combination_to_system_state(combo)
+                    self.stats.invariant_checks += 1
+                    if self.invariant.check(system):
+                        continue
+                    self.stats.preliminary_violations += 1
+                    self._verify_and_report(combo, system)
+            finally:
+                span.add(
+                    system_states=self.stats.system_states_created
+                    - created_before,
+                    violations=self.stats.preliminary_violations
+                    - violations_before,
+                )
+                self.stats.add_phase_time(
+                    "system_states", time.perf_counter() - started
+                )
 
     def _check_local_invariant(self, new_record: NodeStateRecord) -> None:
+        """Check a node-local invariant on one new node state.
+
+        Local invariants need no system-state product at all — the cheapest
+        point in the §4.2 creation spectrum.  A violating node state is a
+        bug iff *some* valid system state contains it, so confirmation
+        still searches completions of the other nodes' states through
+        soundness verification.
+        """
         assert isinstance(self.invariant, LocalInvariant)
         self.stats.invariant_checks += 1
         if self.invariant.check_local(new_record.node, new_record.state):
@@ -456,6 +566,15 @@ class _ExplorationPass:
                 return  # one witness per violating node state is enough
 
     def _verify_and_report(self, combo: Combination, system: SystemState) -> None:
+        """Soundness-verify a preliminary violation; report it if valid.
+
+        Fig. 9 lines 13-16: the a-posteriori check that makes LMC sound
+        (§4.1).  With ``verify_soundness`` off (the Fig. 13
+        "LMC-system-state" configuration) the violation is only counted —
+        or, under ``collect_preliminary``, queued for the parallel
+        verifier.  Wall time is moved from the enclosing ``system_states``
+        bucket into ``soundness`` so the Fig. 13 phases stay disjoint.
+        """
         if not self.config.verify_soundness:
             if (
                 self.config.collect_preliminary
@@ -483,7 +602,21 @@ class _ExplorationPass:
         self._report_bug(system, witness)
 
     def _report_bug(self, system: SystemState, trace: Tuple[Event, ...]) -> None:
+        """Record a *confirmed* bug with its witness total order (§4.1).
+
+        Only soundness-verified violations reach here, so every report
+        carries an executable trace — LMC's no-false-positives guarantee.
+        With tracing on the confirmation also lands in the trace as a
+        ``bug`` event.
+        """
         self.stats.confirmed_bugs += 1
+        if self.emitter.enabled:
+            self.emitter.event(
+                "bug",
+                invariant=type(self.invariant).__name__,
+                description=self.invariant.describe_violation(system),
+                trace_length=len(trace),
+            )
         self.bugs.append(
             BugReport(
                 kind="invariant",
@@ -497,6 +630,12 @@ class _ExplorationPass:
             raise _StopSearch("bug found", completed=False)
 
     def _cached_projection(self, node: NodeId, record: NodeStateRecord):
+        """Memoised invariant projection of a node state (LMC-OPT, §4.2).
+
+        The pairwise OPT enumerator re-reads projections quadratically
+        often; caching by ``(node, record index)`` keeps projection cost
+        linear in visited states.
+        """
         key = (node, record.index)
         if key not in self._projection_cache:
             assert isinstance(self.invariant, DecomposableInvariant)
@@ -508,6 +647,13 @@ class _ExplorationPass:
     # -- reverify extension ------------------------------------------------------
 
     def _cache_rejected(self, combo: Combination) -> None:
+        """Remember a rejected violation for later re-verification.
+
+        The §4.2 completeness patch ("cache the system states in which an
+        invariant is violated and reverify them after the changes into LS
+        that affect them"); indexed by member record so
+        :meth:`_reverify_affected` can find entries cheaply.
+        """
         entry_index = len(self._rejected_cache)
         self._rejected_cache.append(dict(combo))
         for node, record in combo.items():
@@ -516,6 +662,12 @@ class _ExplorationPass:
             )
 
     def _reverify_affected(self, record: NodeStateRecord) -> None:
+        """Re-run soundness on cached rejections touching ``record`` (§4.2).
+
+        Triggered when a new predecessor pointer lands on an existing node
+        state: the new path may supply the event sequence an earlier
+        rejection was missing.
+        """
         indices = self._rejected_index.get((record.node, record.index))
         if not indices:
             return
@@ -533,11 +685,22 @@ class _ExplorationPass:
     # -- bookkeeping ------------------------------------------------------------
 
     def _checking_seconds(self) -> float:
+        """Seconds so far in the two checking phases (Fig. 13 buckets).
+
+        Used to subtract checking time out of a round's wall time so the
+        ``explore`` bucket holds pure exploration.
+        """
         return self.stats.phase_seconds.get(
             "system_states", 0.0
         ) + self.stats.phase_seconds.get("soundness", 0.0)
 
     def _tick_budget(self) -> None:
+        """Enforce the transition/state/time budgets (§5 bounded searches).
+
+        Called before every handler execution; the wall clock is consulted
+        only every ``_BUDGET_CHECK_INTERVAL`` executions to keep the hot
+        path cheap.
+        """
         executed = self.stats.transitions + self.stats.noop_executions
         budget = self.budget
         if (
@@ -557,15 +720,18 @@ class _ExplorationPass:
         """Length of the longest combined event sequence explored so far."""
         return sum(self._node_max_depth.values())
 
+    def _metric_gauges(self) -> Dict[str, float]:
+        """Gauges joined onto every metrics sample (Figs. 11-12 quantities)."""
+        return {
+            "node_states": self.space.total_states(),
+            "memory_bytes": self._retained_bytes + self.network.retained_bytes(),
+        }
+
     def _record_depth_sample(self, force: bool = False) -> None:
-        depth = self.explored_depth()
-        if not force and depth <= self._last_recorded_depth:
-            return
-        metrics = self.stats.snapshot()
-        metrics["node_states"] = self.space.total_states()
-        metrics["memory_bytes"] = self._retained_bytes + self.network.retained_bytes()
-        if force:
-            self.series.record_or_update(depth, self.clock.elapsed(), metrics)
-        else:
-            self.series.record(depth, self.clock.elapsed(), metrics)
-        self._last_recorded_depth = depth
+        """Sample counters via :class:`~repro.obs.metrics.RunMetrics`.
+
+        Called at round boundaries; the registry decides whether the sample
+        lands (depth grew, forced seed/end-of-run, or the trace cadence is
+        due) — the logic that used to live ad hoc in this method.
+        """
+        self.metrics.sample(self.explored_depth(), force=force)

@@ -23,18 +23,26 @@ parent resolves them back to real events to build the witness trace.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Optional, Sequence, Tuple
+import os
+import time
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.checker import LocalModelChecker, _ExplorationPass
 from repro.core.config import LMCConfig
 from repro.core.records import NodeStateRecord
-from repro.core.soundness import NodeSequence, SoundnessVerifier
+from repro.core.soundness import (
+    NodeSequence,
+    SoundnessVerifier,
+    backtrack_order,
+    has_competing_consumers,
+)
 from repro.core.system_states import Combination, combination_to_system_state
 from repro.explore.budget import BudgetClock, SearchBudget
 from repro.invariants.base import Invariant
 from repro.model.events import Event
 from repro.model.protocol import Protocol
 from repro.model.system_state import SystemState
+from repro.obs.emitter import NULL_EMITTER, TraceEmitter
 from repro.reports import BugReport, CheckResult
 from repro.stats.counters import ExplorationStats
 
@@ -48,10 +56,47 @@ WorkUnit = Dict[int, List[Tuple[PlainStep, ...]]]
 Verdict = Optional[Tuple[Dict[int, int], List[Tuple[int, int]]]]
 
 
+class WorkerReport(NamedTuple):
+    """A worker's answer for one unit: verdict plus its own measurements.
+
+    Workers cannot write to the parent's trace, so each ships the span data
+    back over the result channel — the parent re-emits it
+    (:meth:`~repro.obs.emitter.TraceEmitter.emit_span`) and folds the
+    counters into the run's :class:`ExplorationStats` through the single
+    ``merge`` helper, keeping a multiprocess run's trace and counters as
+    coherent as a sequential one's.
+    """
+
+    verdict: Verdict
+    #: Sequence combinations the unit's search replayed (§5.4 counter).
+    combinations: int
+    #: Wall seconds the verification took inside the worker.
+    wall_s: float
+    #: The worker's OS process id (the parent's own pid when ``workers=0``).
+    pid: int
+
+    def to_stats(self) -> ExplorationStats:
+        """This unit's counter contribution, ready for ``merge``.
+
+        Bug confirmation is *not* counted here — the parent counts it when
+        it actually builds the report (``stop_on_first_bug`` may discard
+        later verdicts).
+        """
+        return ExplorationStats(
+            soundness_calls=1, soundness_sequences=self.combinations
+        )
+
+
 def _replay_plain(
     sequences: Dict[int, Tuple[PlainStep, ...]]
 ) -> Optional[List[Tuple[int, int]]]:
-    """The greedy hash replay over plain steps; returns the executed order."""
+    """The greedy hash replay over plain steps; returns the executed order.
+
+    Same contract as :func:`repro.core.soundness.replay_sequences`, over the
+    picklable plain-step form: greedy sweep first, and — when the starvation
+    could be a greedy artefact (two steps competing for one consumed hash) —
+    a fall back to the memoised :func:`backtrack_order` search.
+    """
     pointers = {node: 0 for node in sequences}
     net: Dict[int, int] = {}
     order: List[Tuple[int, int]] = []
@@ -83,15 +128,15 @@ def _replay_plain(
             pointers[node] = pointer
     if executed == total:
         return order
+    if has_competing_consumers(sequences):
+        return backtrack_order(sequences)
     return None
 
 
-def verify_unit(unit: WorkUnit, max_combinations: Optional[int]) -> Verdict:
-    """Search a work unit's sequence combinations for a valid total order.
-
-    Module-level (picklable) so it can run in worker processes; also used
-    directly when ``workers == 0`` for a deterministic in-process fallback.
-    """
+def _verify_unit_counted(
+    unit: WorkUnit, max_combinations: Optional[int]
+) -> Tuple[Verdict, int]:
+    """:func:`verify_unit` plus the number of combinations actually replayed."""
     nodes = sorted(unit)
     tried = 0
 
@@ -119,7 +164,37 @@ def verify_unit(unit: WorkUnit, max_combinations: Optional[int]) -> Verdict:
         chosen.pop(node, None)
         return None
 
-    return recurse(0, {})
+    return recurse(0, {}), tried
+
+
+def verify_unit(unit: WorkUnit, max_combinations: Optional[int]) -> Verdict:
+    """Search a work unit's sequence combinations for a valid total order.
+
+    The worker-side half of §4.1's ``isStateSound``: the cross-product
+    search the paper measures in §5.4, over plain hash steps.  Module-level
+    (picklable) so it can run in worker processes; also used directly when
+    ``workers == 0`` for a deterministic in-process fallback.
+    """
+    return _verify_unit_counted(unit, max_combinations)[0]
+
+
+def verify_unit_profiled(
+    unit: WorkUnit, max_combinations: Optional[int]
+) -> WorkerReport:
+    """Run :func:`verify_unit` and measure it — the pool's actual task.
+
+    Wall time and the combination count travel back with the verdict so the
+    parent can emit a ``worker_verify`` trace span and merge the §5.4
+    counters that a bare verdict would silently drop.
+    """
+    started = time.perf_counter()
+    verdict, tried = _verify_unit_counted(unit, max_combinations)
+    return WorkerReport(
+        verdict=verdict,
+        combinations=tried,
+        wall_s=time.perf_counter() - started,
+        pid=os.getpid(),
+    )
 
 
 class ParallelLocalModelChecker:
@@ -140,11 +215,15 @@ class ParallelLocalModelChecker:
         budget: SearchBudget = SearchBudget.unbounded(),
         config: LMCConfig = LMCConfig(),
         workers: Optional[int] = 0,
+        emitter: Optional[TraceEmitter] = None,
+        metrics_interval: Optional[float] = None,
     ):
         self.protocol = protocol
         self.invariant = invariant
         self.budget = budget
         self.workers = workers
+        self.emitter = emitter if emitter is not None else NULL_EMITTER
+        self.metrics_interval = metrics_interval
         # Exploration collects; verification is ours.
         self.config = LMCConfig(
             **{
@@ -157,15 +236,36 @@ class ParallelLocalModelChecker:
         self.algorithm = "LMC-parallel"
 
     def run(self, initial_system: Optional[SystemState] = None) -> CheckResult:
-        """Explore, then verify collected violations across the pool."""
+        """Explore, then verify collected violations across the pool.
+
+        The decoupled pipeline of §4/§5.4: one sequential exploration pass
+        (spans and metric samples flow through the shared emitter exactly
+        as in :class:`LocalModelChecker`), then the collected preliminary
+        violations fan out to the process pool under one ``dispatch``
+        trace span, with each worker's measurements re-emitted as a
+        ``worker_verify`` child span.  Worker counters reach the run's
+        stats only through :meth:`ExplorationStats.merge`, so a dropped or
+        double-counted field is a bug in one place, not scattered ``+=``
+        sites.
+        """
         if initial_system is None:
             initial_system = self.protocol.initial_system_state()
         checker = LocalModelChecker(
-            self.protocol, self.invariant, self.budget, self.config
+            self.protocol,
+            self.invariant,
+            self.budget,
+            self.config,
+            emitter=self.emitter,
+            metrics_interval=self.metrics_interval,
         )
         clock = BudgetClock(self.budget)
         pass_run = _ExplorationPass(checker, initial_system, clock, None)
-        outcome = pass_run.execute()
+        with self.emitter.span("pass", algorithm=self.algorithm) as pass_span:
+            outcome = pass_run.execute()
+            pass_span.add(
+                stop_reason=outcome.reason,
+                transitions=pass_run.stats.transitions,
+            )
 
         stats = ExplorationStats()
         stats.merge(pass_run.stats)
@@ -190,14 +290,42 @@ class ParallelLocalModelChecker:
                 continue
             units.append((combo, unit, resolved))
 
-        verdicts = self._verify_all(
-            [unit for _combo, unit, _resolved in units]
+        dispatch_started = time.perf_counter()
+        worker_stats = ExplorationStats()
+        with self.emitter.span(
+            "dispatch", units=len(units), workers=self.workers
+        ) as dispatch_span:
+            reports = self._verify_all(
+                [unit for _combo, unit, _resolved in units]
+            )
+            for index, report in enumerate(reports):
+                worker_stats.merge(report.to_stats())
+                self.emitter.emit_span(
+                    "worker_verify",
+                    report.wall_s,
+                    fields={
+                        "unit": index,
+                        "combinations": report.combinations,
+                        "sound": report.verdict is not None,
+                    },
+                    pid=report.pid,
+                )
+            dispatch_span.add(
+                confirmed=sum(
+                    1 for report in reports if report.verdict is not None
+                )
+            )
+        # Parent-side wall time of the whole fan-out: the parallel run's
+        # "soundness" share of the Fig. 13 decomposition.
+        worker_stats.add_phase_time(
+            "soundness", time.perf_counter() - dispatch_started
         )
-        for (combo, _unit, resolved), verdict in zip(units, verdicts):
-            stats.soundness_calls += 1
-            if verdict is None:
+        stats.merge(worker_stats)
+
+        for (combo, _unit, resolved), report in zip(units, reports):
+            if report.verdict is None:
                 continue
-            chosen, order = verdict
+            chosen, order = report.verdict
             trace = self._resolve_trace(resolved, chosen, order)
             system = combination_to_system_state(combo)
             stats.confirmed_bugs += 1
@@ -244,16 +372,24 @@ class ParallelLocalModelChecker:
             ]
         return unit, resolved
 
-    def _verify_all(self, units: Sequence[WorkUnit]) -> List[Verdict]:
+    def _verify_all(self, units: Sequence[WorkUnit]) -> List[WorkerReport]:
+        """Verify every unit, in-process or across the pool (§5.4 fan-out).
+
+        Returns one :class:`WorkerReport` per unit, in unit order —
+        ``pool.starmap`` preserves order, so the trace the parent re-emits
+        stays causally aligned with the unit list.
+        """
         max_combinations = self._report_config.max_combinations_per_check
         if not units:
             return []
         if self.workers == 0:
-            return [verify_unit(unit, max_combinations) for unit in units]
+            return [
+                verify_unit_profiled(unit, max_combinations) for unit in units
+            ]
         workers = self.workers or multiprocessing.cpu_count()
         with multiprocessing.Pool(processes=workers) as pool:
             return pool.starmap(
-                verify_unit,
+                verify_unit_profiled,
                 [(unit, max_combinations) for unit in units],
                 chunksize=max(1, len(units) // (workers * 4) or 1),
             )
@@ -264,6 +400,12 @@ class ParallelLocalModelChecker:
         chosen: Dict[int, int],
         order: List[Tuple[int, int]],
     ) -> Tuple[Event, ...]:
+        """Map a worker's index-path verdict back to real events (§4.1 witness).
+
+        Workers see only integer hashes; the parent owns the
+        :class:`~repro.core.soundness.SequenceStep` objects, so the witness
+        trace — the paper's executable counter-example — is rebuilt here.
+        """
         events: List[Event] = []
         for node, step_index in order:
             sequence = resolved[node][chosen[node]]

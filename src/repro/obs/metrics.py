@@ -1,0 +1,119 @@
+"""Run-metrics sampling: counters, memory, and phase timers over time.
+
+:class:`RunMetrics` replaces the checkers' ad-hoc depth-sample bookkeeping
+with one registry that feeds two consumers at once:
+
+* the per-depth :class:`~repro.stats.series.DepthSeries` the Fig. 10–13
+  benches print (a sample lands whenever the explored depth grows, plus a
+  forced end-of-run sample — exactly the seed behaviour);
+* the trace, as ``metric`` records — additionally emitted on a configurable
+  wall-clock cadence (``interval`` seconds, checked at each sampling point),
+  so a long run's trace shows counter *progress*, not just its endpoints.
+
+Each sample is the :meth:`~repro.stats.counters.ExplorationStats.snapshot`
+dict (which already folds in the ``phase_*_s`` Fig. 13 timers) extended
+with caller-provided gauges (node states, tracked bytes) and the process
+RSS via :func:`rss_bytes`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.obs.emitter import NULL_EMITTER, TraceEmitter
+from repro.stats.counters import ExplorationStats
+from repro.stats.series import DepthSeries
+
+
+def rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process in bytes, or None if unknown.
+
+    Uses the stdlib ``resource`` module (no third-party dependency);
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+class RunMetrics:
+    """Samples exploration counters into a depth series and a trace.
+
+    Parameters
+    ----------
+    series:
+        The depth series to fill (Fig. 10–13 raw material).
+    stats:
+        The live counter block being sampled.
+    elapsed:
+        Zero-argument callable returning seconds since the run started
+        (typically ``BudgetClock.elapsed``).
+    emitter:
+        Trace sink for ``metric`` records; the null emitter by default.
+    interval:
+        Wall-clock cadence in seconds for *trace* samples while depth is
+        flat; ``None`` emits only when depth grows (and on force).
+    extra:
+        Zero-argument callable contributing additional gauge fields to each
+        sample (e.g. ``node_states``, ``memory_bytes``).
+    """
+
+    def __init__(
+        self,
+        series: DepthSeries,
+        stats: ExplorationStats,
+        elapsed: Callable[[], float],
+        emitter: TraceEmitter = NULL_EMITTER,
+        interval: Optional[float] = None,
+        extra: Optional[Callable[[], Dict[str, float]]] = None,
+    ):
+        self.series = series
+        self.stats = stats
+        self.elapsed = elapsed
+        self.emitter = emitter
+        self.interval = interval
+        self.extra = extra
+        self._last_depth = -1
+        self._last_emit = float("-inf")
+
+    def sample(self, depth: int, force: bool = False) -> bool:
+        """Take a sample at ``depth`` if anything warrants one.
+
+        A sample is warranted when the depth grew past the last recorded
+        one, when ``force`` is set (seeding and end-of-run), or — for the
+        trace only — when ``interval`` seconds elapsed since the last
+        emitted metric record.  Returns True when a sample was taken.
+        """
+        depth_grew = depth > self._last_depth
+        elapsed = self.elapsed()
+        interval_due = (
+            self.interval is not None
+            and self.emitter.enabled
+            and elapsed - self._last_emit >= self.interval
+        )
+        if not (depth_grew or force or interval_due):
+            return False
+        metrics = self.stats.snapshot()
+        if self.extra is not None:
+            metrics.update(self.extra())
+        rss = rss_bytes()
+        if rss is not None:
+            metrics["rss_bytes"] = rss
+        # The series stays depth-keyed: interval-only samples do not touch
+        # it, and a forced sample at an already-recorded depth replaces the
+        # final row (end-of-run totals must win).
+        if depth_grew:
+            self.series.record(depth, elapsed, metrics)
+            self._last_depth = depth
+        elif force:
+            self.series.record_or_update(depth, elapsed, metrics)
+        if self.emitter.enabled:
+            self.emitter.metric(depth=depth, elapsed_s=elapsed, **metrics)
+            self._last_emit = elapsed
+        return True

@@ -1,0 +1,73 @@
+"""Profiling hooks: phase timers and the Fig. 13 overhead arithmetic.
+
+The paper's Fig. 13 decomposes one LMC run's wall time into exploration,
+system-state creation, and soundness verification by re-running with phases
+disabled.  This module lets a single traced run produce the same
+decomposition: :func:`phase_timer` accumulates wall time into the
+:class:`~repro.stats.counters.ExplorationStats` phase buckets (optionally
+emitting a trace span for the region), and :func:`overhead_breakdown` turns
+the resulting ``phase_seconds`` dict into per-phase shares.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.emitter import NULL_EMITTER, TraceEmitter
+from repro.stats.counters import ExplorationStats
+
+#: Canonical phase order for Fig. 13-style tables.
+PHASE_ORDER = ("explore", "system_states", "soundness")
+
+
+@contextmanager
+def phase_timer(
+    stats: ExplorationStats,
+    phase: str,
+    emitter: TraceEmitter = NULL_EMITTER,
+    span_name: Optional[str] = None,
+    **fields: Any,
+) -> Iterator[None]:
+    """Time a region into ``stats.phase_seconds[phase]``; optionally trace it.
+
+    With ``span_name`` set (and a real emitter) the region also becomes a
+    trace span, so the same hook feeds both the Fig. 13 buckets and the
+    trace tree.  Exceptions still charge the elapsed time (a stop criterion
+    firing mid-phase must not lose the phase's cost).
+    """
+    span = (
+        emitter.span(span_name, phase=phase, **fields)
+        if span_name is not None and emitter.enabled
+        else None
+    )
+    if span is not None:
+        span.__enter__()
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        stats.add_phase_time(phase, time.perf_counter() - started)
+        if span is not None:
+            span.__exit__(None, None, None)
+
+
+def overhead_breakdown(
+    phase_seconds: Dict[str, float]
+) -> List[Tuple[str, float, float]]:
+    """Fig. 13 shares: ``(phase, seconds, fraction-of-total)`` rows.
+
+    Phases appear in canonical order first, then any extra buckets
+    alphabetically; fractions are of the summed phase time (0.0 when the
+    total is zero).  Negative residue from the checker's compensation
+    arithmetic is clamped at zero seconds.
+    """
+    ordered = [name for name in PHASE_ORDER if name in phase_seconds]
+    ordered += sorted(set(phase_seconds) - set(PHASE_ORDER))
+    rows = [(name, max(0.0, phase_seconds[name])) for name in ordered]
+    total = sum(seconds for _name, seconds in rows)
+    return [
+        (name, seconds, (seconds / total) if total > 0 else 0.0)
+        for name, seconds in rows
+    ]

@@ -1,0 +1,207 @@
+"""Trace-file analysis: render a captured trace back into paper tables.
+
+``repro trace-report <trace.jsonl>`` loads the records written by
+:class:`~repro.obs.emitter.JsonlEmitter` and reproduces, from the trace
+alone:
+
+* the **Fig. 13 overhead breakdown** — exploration vs system-state creation
+  vs soundness-verification wall-time shares, read from the final ``metric``
+  record's ``phase_*_s`` fields (the same buckets the checker maintains);
+* the **§5.4 soundness profile** — call count, average wall time per call,
+  and sequences examined, aggregated over ``soundness`` and
+  ``worker_verify`` spans (so sequential and parallel runs read the same);
+* span counts/durations per name, final counters, and per-worker totals
+  for multiprocess runs.
+
+Rendering reuses :func:`repro.stats.reporting.format_table`, keeping
+trace-report output in the same monospace-table dialect as the benches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.profiling import overhead_breakdown
+from repro.stats.reporting import format_table
+
+#: Span names counted into the §5.4 soundness profile.
+_SOUNDNESS_SPANS = ("soundness", "worker_verify")
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file into record dicts, in file order.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` naming
+    its line number (truncated traces from killed runs fail loudly).
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed trace record: {exc}")
+    return records
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view over one trace's records."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_file(cls, path: str) -> "TraceSummary":
+        """Load and summarise a JSONL trace file."""
+        return cls(load_trace(path))
+
+    # -- selectors -------------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All span records, optionally filtered by name, in causal (ts) order."""
+        found = [
+            record
+            for record in self.records
+            if record.get("kind") == "span"
+            and (name is None or record.get("name") == name)
+        ]
+        return sorted(found, key=lambda record: record.get("ts", 0.0))
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All event records, optionally filtered by name."""
+        return [
+            record
+            for record in self.records
+            if record.get("kind") == "event"
+            and (name is None or record.get("name") == name)
+        ]
+
+    def final_metric(self) -> Optional[Dict[str, Any]]:
+        """The last ``metric`` record's fields — the run's final counters."""
+        for record in reversed(self.records):
+            if record.get("kind") == "metric":
+                return dict(record.get("fields", {}))
+        return None
+
+    # -- derived profiles ------------------------------------------------------
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Fig. 13 phase buckets, from the final metric's ``phase_*_s`` fields."""
+        final = self.final_metric() or {}
+        return {
+            key[len("phase_") : -len("_s")]: float(value)
+            for key, value in final.items()
+            if key.startswith("phase_") and key.endswith("_s")
+        }
+
+    def soundness_profile(self) -> Dict[str, float]:
+        """§5.4 aggregate: calls, total/average wall time, sequences examined."""
+        calls = 0
+        total_s = 0.0
+        sequences = 0
+        for span in self.spans():
+            if span.get("name") not in _SOUNDNESS_SPANS:
+                continue
+            calls += 1
+            total_s += float(span.get("dur_s", 0.0))
+            fields = span.get("fields", {})
+            sequences += int(fields.get("sequences", fields.get("combinations", 0)))
+        return {
+            "calls": calls,
+            "total_s": total_s,
+            "avg_ms": (total_s / calls * 1000.0) if calls else 0.0,
+            "sequences": sequences,
+        }
+
+    def worker_profile(self) -> List[Dict[str, Any]]:
+        """Per-process totals over forwarded ``worker_verify`` spans."""
+        by_pid: Dict[int, Dict[str, Any]] = {}
+        for span in self.spans("worker_verify"):
+            pid = span.get("pid", 0)
+            entry = by_pid.setdefault(
+                pid, {"pid": pid, "units": 0, "total_s": 0.0}
+            )
+            entry["units"] += 1
+            entry["total_s"] += float(span.get("dur_s", 0.0))
+        return sorted(by_pid.values(), key=lambda entry: entry["pid"])
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self) -> str:
+        """The full ``repro trace-report`` text: all tables, ready to print."""
+        sections: List[str] = []
+
+        phases = self.phase_seconds()
+        if phases:
+            rows = [
+                (name, seconds, f"{share * 100:.1f}%")
+                for name, seconds, share in overhead_breakdown(phases)
+            ]
+            sections.append(
+                "Overhead breakdown (Fig. 13)\n"
+                + format_table(["phase", "seconds", "share"], rows)
+            )
+
+        profile = self.soundness_profile()
+        if profile["calls"]:
+            sections.append(
+                "Soundness verification profile (§5.4)\n"
+                + format_table(
+                    ["calls", "sequences", "total s", "avg ms/call"],
+                    [
+                        (
+                            int(profile["calls"]),
+                            int(profile["sequences"]),
+                            profile["total_s"],
+                            profile["avg_ms"],
+                        )
+                    ],
+                )
+            )
+
+        span_rows = self._span_rows()
+        if span_rows:
+            sections.append(
+                "Spans\n" + format_table(["span", "count", "total s"], span_rows)
+            )
+
+        workers = self.worker_profile()
+        if workers:
+            sections.append(
+                "Workers\n"
+                + format_table(
+                    ["pid", "units", "total s"],
+                    [(w["pid"], w["units"], w["total_s"]) for w in workers],
+                )
+            )
+
+        final = self.final_metric()
+        if final:
+            counter_rows = [
+                (key, value)
+                for key, value in sorted(final.items())
+                if not (key.startswith("phase_") and key.endswith("_s"))
+            ]
+            sections.append(
+                "Final counters\n" + format_table(["counter", "value"], counter_rows)
+            )
+
+        if not sections:
+            return "(empty trace: no spans, events, or metrics)"
+        return "\n\n".join(sections)
+
+    def _span_rows(self) -> List[tuple]:
+        totals: Dict[str, List[float]] = {}
+        for span in self.spans():
+            entry = totals.setdefault(span.get("name", "?"), [0, 0.0])
+            entry[0] += 1
+            entry[1] += float(span.get("dur_s", 0.0))
+        return [
+            (name, int(count), seconds)
+            for name, (count, seconds) in sorted(totals.items())
+        ]

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.model.system_state import SystemState
+from repro.obs.emitter import NULL_EMITTER, TraceEmitter
 from repro.online.simulator import LiveRun
 from repro.reports import BugReport, CheckResult
 
@@ -66,6 +67,7 @@ class OnlineModelChecker:
         checker_factory: CheckerFactory,
         check_interval: float = 60.0,
         interval_hook: Optional[IntervalHook] = None,
+        emitter: Optional[TraceEmitter] = None,
     ):
         if check_interval <= 0:
             raise ValueError("check_interval must be positive")
@@ -73,6 +75,10 @@ class OnlineModelChecker:
         self.checker_factory = checker_factory
         self.check_interval = check_interval
         self.interval_hook = interval_hook
+        #: Trace sink: each checker restart becomes a ``restart`` span
+        #: (nesting the checker's own spans when the factory shares the
+        #: emitter), and a confirmed detection a ``detection`` event.
+        self.emitter = emitter if emitter is not None else NULL_EMITTER
 
     def run(
         self,
@@ -89,7 +95,15 @@ class OnlineModelChecker:
             self.live.run_for(self.check_interval)
             snapshot = self.live.snapshot()
             started = time.perf_counter()
-            result = self.checker_factory(snapshot)
+            with self.emitter.span(
+                "restart", number=outcome.restarts, sim_time=self.live.now
+            ) as span:
+                result = self.checker_factory(snapshot)
+                span.add(
+                    node_states=result.stats.node_states,
+                    preliminary_violations=result.stats.preliminary_violations,
+                    found_bug=result.found_bug,
+                )
             wall = time.perf_counter() - started
             outcome.restarts += 1
             outcome.total_checking_seconds += wall
@@ -105,5 +119,13 @@ class OnlineModelChecker:
             if result.found_bug:
                 outcome.bug = result.first_bug()
                 outcome.detection_sim_time = self.live.now
+                if self.emitter.enabled:
+                    # The §5.5 headline number ("the bug was detected after
+                    # 1150 seconds"), straight off the trace.
+                    self.emitter.event(
+                        "detection",
+                        sim_time=self.live.now,
+                        restarts=outcome.restarts,
+                    )
                 return outcome
         return outcome

@@ -8,7 +8,7 @@ bench output is stable across environments.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.stats.series import DepthSeries
 
@@ -66,6 +66,25 @@ def format_depth_series(
                 row.append(sample.get(metric))
         rows.append(row)
     return f"{title}\n{format_table(headers, rows)}"
+
+
+def format_phase_breakdown(phase_seconds: Dict[str, float]) -> str:
+    """The Fig. 13 overhead decomposition as a table.
+
+    One row per phase bucket (exploration, system-state creation, soundness
+    verification, plus any extra buckets a caller accumulated), with wall
+    seconds and the share of the summed phase time.  Returns ``""`` when no
+    phase was timed, so callers can print it unconditionally.
+    """
+    from repro.obs.profiling import overhead_breakdown
+
+    rows = [
+        (name, seconds, f"{share * 100:.1f}%")
+        for name, seconds, share in overhead_breakdown(phase_seconds)
+    ]
+    if not rows:
+        return ""
+    return format_table(["phase", "seconds", "share"], rows)
 
 
 def _render_cell(cell: object) -> str:

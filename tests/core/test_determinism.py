@@ -7,8 +7,10 @@ coincide exactly.  This is what makes counterexamples reproducible and the
 benches meaningful.
 """
 
+import os
 import subprocess
 import sys
+from pathlib import Path
 
 from repro.core.checker import LocalModelChecker
 from repro.core.config import LMCConfig
@@ -77,12 +79,26 @@ def test_determinism_across_processes():
         " r.stats.history_skips)\n"
     )
 
+    # A scrubbed environment (fresh hash seed, nothing else) — except that
+    # the child must still find the package when the suite runs from a
+    # plain checkout via PYTHONPATH=src, so the checkout's src dir (and any
+    # caller-provided PYTHONPATH) is forwarded.
+    src_dir = Path(__file__).resolve().parents[2] / "src"
+    pythonpath = os.pathsep.join(
+        [str(src_dir)]
+        + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+    )
+
     def run(seed: str) -> str:
         proc = subprocess.run(
             [sys.executable, "-c", script],
             capture_output=True,
             text=True,
-            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONHASHSEED": seed,
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": pythonpath,
+            },
             timeout=300,
         )
         assert proc.returncode == 0, proc.stderr

@@ -117,3 +117,35 @@ def test_greedy_order_is_itself_valid(plain_sequences):
     assert all(
         positions[node] == len(rich[node]) for node in rich
     )
+
+
+# A pinned counterexample to the naive greedy sweep (hypothesis-found): node 2
+# greedily consumes the hash-1 message it just generated, starving node 1 —
+# yet the order (2.0, 1.0, 2.1) is valid.  Greedy can only err like this when
+# two steps compete to consume the same hash; replay must then fall back to
+# the complete backtracking search.
+COMPETING_CONSUMERS = {
+    0: (),
+    1: ((1, (1,)),),
+    2: ((None, (1,)), (1, ())),
+}
+
+
+def test_competing_consumers_fall_back_to_backtracking():
+    rich = {
+        node: tuple(
+            make_step(node, i, plain) for i, plain in enumerate(sequence)
+        )
+        for node, sequence in COMPETING_CONSUMERS.items()
+    }
+    order = replay_sequences(rich)
+    assert order is not None
+    assert brute_force_valid(COMPETING_CONSUMERS)
+
+
+def test_plain_replay_falls_back_too():
+    from repro.core.parallel import _replay_plain
+
+    order = _replay_plain(COMPETING_CONSUMERS)
+    assert order is not None
+    assert len(order) == 3

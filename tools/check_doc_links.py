@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown docs.
+
+Scans the given markdown files (default: docs/*.md and README.md) for
+inline links ``[text](target)`` whose target is a relative path, resolves
+each against the containing file's directory, and exits non-zero listing
+every target that does not exist.  External (``http(s)://``, ``mailto:``)
+and pure-anchor (``#...``) links are ignored; a ``#fragment`` suffix on a
+file link is stripped before the existence check.
+
+Usage::
+
+    python tools/check_doc_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; deliberately simple — no reference-style links
+#: or angle-bracket targets are used in this repository's docs.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def dead_links(path: Path) -> list:
+    """(line number, target) pairs in ``path`` that resolve nowhere."""
+    found = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                found.append((lineno, target))
+    return found
+
+
+def main(argv: list) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = sorted(root.glob("docs/*.md")) + [root / "README.md"]
+    broken = 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: file not found", file=sys.stderr)
+            broken += 1
+            continue
+        for lineno, target in dead_links(path):
+            print(f"{path}:{lineno}: dead link: {target}", file=sys.stderr)
+            broken += 1
+    if broken:
+        print(f"{broken} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
