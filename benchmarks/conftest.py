@@ -10,6 +10,7 @@ benches themselves; absolute numbers are hardware-bound and not asserted.
 from __future__ import annotations
 
 import os
+import re
 import sys
 
 import pytest
@@ -21,6 +22,42 @@ from repro.explore.global_checker import GlobalModelChecker
 from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def _assert_results_not_rotted() -> None:
+    """Every persisted ``results/*.txt`` must belong to a live bench test.
+
+    The ``report`` fixture names each result file after the test that wrote
+    it, so a file whose stem no longer matches any ``def test_...`` in this
+    directory is rot: its numbers would keep being quoted (EXPERIMENTS.md
+    references these files) long after the test that produced them was
+    renamed or deleted.  Checked statically against the test *sources*, not
+    the collected items, so ``-k``/path selections never trip it.
+    """
+    if not os.path.isdir(RESULTS_DIR):
+        return
+    bench_dir = os.path.dirname(__file__)
+    defined = set()
+    for filename in os.listdir(bench_dir):
+        if filename.startswith("test_") and filename.endswith(".py"):
+            with open(os.path.join(bench_dir, filename)) as handle:
+                defined.update(re.findall(r"^\s*def (test_\w+)", handle.read(), re.M))
+    stale = sorted(
+        name
+        for name in os.listdir(RESULTS_DIR)
+        if name.endswith(".txt")
+        # Parametrized tests persist as test_name[param]; match the base.
+        and re.sub(r"\[.*\]$", "", name[: -len(".txt")]) not in defined
+    )
+    if stale:
+        raise pytest.UsageError(
+            "stale benchmark results (no matching test defines them): "
+            + ", ".join(stale)
+            + " — delete the file(s) or restore the test(s)"
+        )
+
+
+_assert_results_not_rotted()
 
 
 @pytest.fixture(autouse=True)

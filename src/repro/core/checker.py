@@ -24,6 +24,7 @@ Modes (§5):
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import LMCConfig
@@ -36,6 +37,7 @@ from repro.core.records import (
 from repro.core.soundness import SoundnessVerifier
 from repro.core.system_states import (
     Combination,
+    ProjectionIndex,
     combination_to_system_state,
     enumerate_general,
     enumerate_optimized,
@@ -43,7 +45,7 @@ from repro.core.system_states import (
 from repro.explore.budget import BudgetClock, SearchBudget
 from repro.invariants.base import DecomposableInvariant, Invariant, LocalInvariant
 from repro.model.events import DeliveryEvent, Event, InternalEvent, event_hash, message_hashes
-from repro.model.hashing import content_hash
+from repro.model.hashing import content_hash, intern_stats, interning_enabled
 from repro.model.protocol import Protocol
 from repro.model.system_state import SystemState
 from repro.model.types import Action, HandlerResult, LocalAssertionError, NodeId
@@ -190,6 +192,8 @@ class _ExplorationPass:
             max_sequences_per_node=self.config.max_sequences_per_node,
             max_combinations=self.config.max_combinations_per_check,
             emitter=self.emitter,
+            memoize=self.config.memoize_soundness,
+            replay_cache_limit=self.config.replay_cache_limit,
         )
         #: Counter/memory sampling into the depth series and the trace;
         #: owns the was-ad-hoc "sample when depth grows" bookkeeping.
@@ -203,6 +207,13 @@ class _ExplorationPass:
         )
         self.blocked_by_bound = False
         self._blocked_by_depth = False
+        # Delivery-event hashes memoised by message content hash: the event
+        # hash is a pure function of the message, and every stored message
+        # is delivered to many node states.  Tied to the interner toggle so
+        # the bench's uncached mode measures the true unoptimized baseline.
+        self._delivery_hash_memo: Optional[Dict[int, int]] = (
+            {} if interning_enabled() else None
+        )
         # Per-node deepest discovery depth.  The exploration depth the paper
         # plots is the length of the longest *combined* event sequence, i.e.
         # the sum of the per-node sequence lengths (the 22-event
@@ -212,14 +223,31 @@ class _ExplorationPass:
         self._retained_bytes = 0
         self._local_cursor: Dict[NodeId, int] = {}
         self._seed_records: Dict[NodeId, NodeStateRecord] = {}
-        # reverify_rejected extension: cached rejected combinations, indexed
-        # by the (node, record index) pairs they contain.
-        self._rejected_cache: List[Optional[Combination]] = []
+        # reverify_rejected extension: cached rejected combinations (an LRU
+        # ordered dict, bounded by ``rejected_cache_limit``), indexed by the
+        # (node, record index) pairs they contain.  Entry keys are monotone
+        # insertion numbers; reverification touches an entry, eviction drops
+        # the least recently touched.
+        self._rejected_entries: "OrderedDict[int, Combination]" = OrderedDict()
+        self._rejected_next = 0
         self._rejected_index: Dict[Tuple[NodeId, int], List[int]] = {}
         # Cache of invariant projections: recomputing them for every pairwise
         # scan is quadratic in visited states, and projections of large
         # multi-decree states are not free.
         self._projection_cache: Dict[Tuple[NodeId, int], object] = {}
+        # Incremental pairwise-OPT partner index: per node, the records with
+        # non-None projections, maintained as states are discovered so each
+        # anchored enumeration stops rescanning every visited state.
+        use_pairwise_opt = (
+            self.config.invariant_specific_creation
+            and isinstance(self.invariant, DecomposableInvariant)
+            and self.invariant.pairwise
+        )
+        self._projection_index: Optional[ProjectionIndex] = (
+            ProjectionIndex(self.space.node_ids)
+            if use_pairwise_opt and self.config.incremental_enumeration
+            else None
+        )
 
     # -- top level -------------------------------------------------------------
 
@@ -274,6 +302,11 @@ class _ExplorationPass:
             # and final counters, even when the deepest level was reached
             # long before the run stopped.
             self._record_depth_sample(force=True)
+            # Hash-interner hit rates go to the trace only: the interner is
+            # process-global (warm across runs in one process), so its
+            # counters must stay out of the deterministic metric series.
+            if self.emitter.enabled and interning_enabled():
+                self.emitter.event("hash_cache", **intern_stats())
 
     def _seed(self) -> None:
         """Install the live state (Fig. 9 lines 2-4): seed each ``LS_n``.
@@ -286,6 +319,10 @@ class _ExplorationPass:
             self._seed_records[node] = record
             self._local_cursor[node] = 0
             self._retained_bytes += record.retained_bytes()
+            if self._projection_index is not None:
+                self._projection_index.note(
+                    node, record, self._cached_projection(node, record)
+                )
         if self.config.create_system_states:
             self.stats.invariant_checks += 1
             if not self.invariant.check(self.initial_system):
@@ -373,7 +410,18 @@ class _ExplorationPass:
             return 1
         self.stats.transitions += 1
         event = DeliveryEvent(stored.message)
-        self._integrate(record, event, stored.hash, result, is_internal=False)
+        memo = self._delivery_hash_memo
+        if memo is None:
+            ehash = event_hash(event)
+        else:
+            ehash = memo.get(stored.hash)
+            if ehash is None:
+                ehash = event_hash(event)
+                memo[stored.hash] = ehash
+        self._integrate(
+            record, event, stored.hash, result, is_internal=False,
+            event_hash_value=ehash,
+        )
         return 1
 
     def _execute_internal(self, record: NodeStateRecord, action: Action) -> int:
@@ -406,7 +454,7 @@ class _ExplorationPass:
         real run.
         """
         if self.config.assertion_policy == "discard" and not record.seed:
-            record.discarded = True
+            self.space.store(record.node).mark_discarded(record)
             self.stats.states_discarded_by_assert += 1
         # Under "ignore" (or on a seed state) the execution is a no-op.
         self.stats.noop_executions += 1
@@ -418,6 +466,7 @@ class _ExplorationPass:
         consumed_hash: Optional[int],
         result: HandlerResult,
         is_internal: bool,
+        event_hash_value: Optional[int] = None,
     ) -> None:
         """Fold a handler result into ``LS``/``I+`` (Fig. 9 lines 8-9).
 
@@ -435,7 +484,9 @@ class _ExplorationPass:
         link = PredecessorLink(
             prev_hash=record.hash,
             event=event,
-            event_hash=event_hash(event),
+            event_hash=(
+                event_hash(event) if event_hash_value is None else event_hash_value
+            ),
             consumed_hash=consumed_hash,
             generated_hashes=generated,
         )
@@ -449,6 +500,9 @@ class _ExplorationPass:
         if existing is not None:
             if existing.add_predecessor(link):
                 self._retained_bytes += LINK_BYTES
+                # The predecessor DAG changed: invalidate the soundness
+                # verifier's memoised sequence enumerations for this node.
+                store.note_link()
                 if self.config.reverify_rejected:
                     self._reverify_affected(existing)
             return
@@ -466,6 +520,12 @@ class _ExplorationPass:
         self._retained_bytes += new_record.retained_bytes()
         if new_record.depth > self._node_max_depth.get(record.node, 0):
             self._node_max_depth[record.node] = new_record.depth
+        if self._projection_index is not None:
+            self._projection_index.note(
+                record.node,
+                new_record,
+                self._cached_projection(record.node, new_record),
+            )
         self._check_new_state(new_record)
 
     # -- invariant checking over temporary system states -----------------------------
@@ -503,6 +563,7 @@ class _ExplorationPass:
                         self.invariant,
                         completion_cap=self.config.max_completions_per_conflict,
                         projection_of=self._cached_projection,
+                        index=self._projection_index,
                     )
                 else:
                     combos = enumerate_general(
@@ -652,34 +713,46 @@ class _ExplorationPass:
         The §4.2 completeness patch ("cache the system states in which an
         invariant is violated and reverify them after the changes into LS
         that affect them"); indexed by member record so
-        :meth:`_reverify_affected` can find entries cheaply.
+        :meth:`_reverify_affected` can find entries cheaply.  The cache is
+        an LRU bounded by ``rejected_cache_limit`` — an eviction trades a
+        sliver of the patched-back completeness for bounded memory on long
+        online runs and is counted in ``rejected_cache_evictions``.
         """
-        entry_index = len(self._rejected_cache)
-        self._rejected_cache.append(dict(combo))
+        entry_index = self._rejected_next
+        self._rejected_next += 1
+        self._rejected_entries[entry_index] = dict(combo)
         for node, record in combo.items():
             self._rejected_index.setdefault((node, record.index), []).append(
                 entry_index
             )
+        limit = self.config.rejected_cache_limit
+        if limit is not None and len(self._rejected_entries) > limit:
+            self._rejected_entries.popitem(last=False)
+            self.stats.rejected_cache_evictions += 1
 
     def _reverify_affected(self, record: NodeStateRecord) -> None:
         """Re-run soundness on cached rejections touching ``record`` (§4.2).
 
         Triggered when a new predecessor pointer lands on an existing node
         state: the new path may supply the event sequence an earlier
-        rejection was missing.
+        rejection was missing.  Reverifying an entry marks it recently used;
+        index lists drop references to entries the LRU has evicted.
         """
         indices = self._rejected_index.get((record.node, record.index))
         if not indices:
             return
-        for entry_index in list(indices):
-            combo = self._rejected_cache[entry_index]
+        live = [index for index in indices if index in self._rejected_entries]
+        self._rejected_index[(record.node, record.index)] = live
+        for entry_index in list(live):
+            combo = self._rejected_entries.get(entry_index)
             if combo is None:
                 continue
+            self._rejected_entries.move_to_end(entry_index)
             started = time.perf_counter()
             witness = self.verifier.is_state_sound(combo)
             self.stats.add_phase_time("soundness", time.perf_counter() - started)
             if witness is not None:
-                self._rejected_cache[entry_index] = None
+                del self._rejected_entries[entry_index]
                 self._report_bug(combination_to_system_state(combo), witness)
 
     # -- bookkeeping ------------------------------------------------------------

@@ -106,6 +106,30 @@ class LMCConfig:
     #: per-combination work-unit construction of the parallel verifier.
     max_collected_preliminary: int = 2048
 
+    #: Memoize soundness machinery: per-record sequence enumerations (keyed
+    #: on the store version, so new states or predecessor pointers
+    #: invalidate exactly) and replay verdicts (keyed on the event hashes of
+    #: the combination, which determine the replay outcome).  Semantics are
+    #: unchanged — §5.4 counters (``soundness_calls``/``soundness_sequences``)
+    #: count cached combinations exactly as uncached ones.
+    memoize_soundness: bool = True
+
+    #: LRU bound on cached replay verdicts; ``None`` removes the bound.
+    replay_cache_limit: Optional[int] = 4096
+
+    #: LRU bound on the ``reverify_rejected`` combination cache; evictions
+    #: trade the §4.2 completeness patch back for bounded memory on long
+    #: online runs and are surfaced as ``rejected_cache_evictions``.
+    #: ``None`` removes the bound.
+    rejected_cache_limit: Optional[int] = 4096
+
+    #: Reuse incremental per-node structures during system-state creation:
+    #: cached active-record lists and — for pairwise LMC-OPT — a per-node
+    #: index of records with non-``None`` projections, so each anchored
+    #: enumeration stops rescanning every visited state.  Enumeration order
+    #: (and therefore every count and witness) is unchanged.
+    incremental_enumeration: bool = True
+
     def __post_init__(self) -> None:
         if self.duplicate_limit < 0:
             raise ValueError("duplicate_limit must be >= 0")
@@ -118,7 +142,12 @@ class LMCConfig:
                 f"assertion_policy must be 'discard' or 'ignore', "
                 f"got {self.assertion_policy!r}"
             )
-        for name in ("max_sequences_per_node", "max_combinations_per_check"):
+        for name in (
+            "max_sequences_per_node",
+            "max_combinations_per_check",
+            "replay_cache_limit",
+            "rejected_cache_limit",
+        ):
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive or None")

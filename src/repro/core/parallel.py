@@ -18,13 +18,22 @@ Work units ship as plain integers: each candidate sequence is reduced to its
 worker's replay is the same integer-only bookkeeping the sequential
 verifier uses.  Workers return index paths into the shipped sequences; the
 parent resolves them back to real events to build the witness trace.
+
+Dispatch economics (docs/PERFORMANCE.md): workers live in a persistent
+process pool reused across generations (:func:`_shared_executor`), units are
+grouped into batches of about four per worker, and each batch's candidate
+sequences — heavily shared between units through overlapping predecessor
+chains — are deduplicated into one table shipped once per batch.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.checker import LocalModelChecker, _ExplorationPass
@@ -195,6 +204,88 @@ def verify_unit_profiled(
         wall_s=time.perf_counter() - started,
         pid=os.getpid(),
     )
+
+
+#: An index-based work unit: per node, indices into a batch's shared
+#: sequence table.  Overlapping predecessor chains make many units share
+#: candidate sequences; shipping each distinct sequence once per batch keeps
+#: pickling cost proportional to distinct data, not to units.
+UnitSpec = Dict[int, List[int]]
+
+
+def _verify_batch_task(
+    table: List[Tuple[PlainStep, ...]],
+    specs: List[UnitSpec],
+    max_combinations: Optional[int],
+) -> List[WorkerReport]:
+    """Worker-side batch entry point: rebuild units from the table, verify all.
+
+    Batching amortizes per-task dispatch overhead (pickle + queue round
+    trip) over many small units, which dominates when individual soundness
+    searches are fast.
+    """
+    reports: List[WorkerReport] = []
+    for spec in specs:
+        unit: WorkUnit = {
+            node: [table[index] for index in indices]
+            for node, indices in spec.items()
+        }
+        reports.append(verify_unit_profiled(unit, max_combinations))
+    return reports
+
+
+def _encode_batch(
+    units: Sequence[WorkUnit],
+) -> Tuple[List[Tuple[PlainStep, ...]], List[UnitSpec]]:
+    """Dedup a batch's sequences into a shared table plus per-unit indices."""
+    table: List[Tuple[PlainStep, ...]] = []
+    positions: Dict[Tuple[PlainStep, ...], int] = {}
+    specs: List[UnitSpec] = []
+    for unit in units:
+        spec: UnitSpec = {}
+        for node, sequences in unit.items():
+            indices: List[int] = []
+            for sequence in sequences:
+                position = positions.get(sequence)
+                if position is None:
+                    position = len(table)
+                    positions[sequence] = position
+                    table.append(sequence)
+                indices.append(position)
+            spec[node] = indices
+        specs.append(spec)
+    return table, specs
+
+
+#: The persistent verification pool (the paper's "embarrassingly
+#: parallelized" phase): spawned once and reused across ``_verify_all``
+#: generations instead of paying worker start-up per call.
+_EXECUTOR: Optional[ProcessPoolExecutor] = None
+_EXECUTOR_WORKERS = 0
+
+
+def _shared_executor(workers: int) -> ProcessPoolExecutor:
+    """The process pool, created lazily and rebuilt on a worker-count change."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None and _EXECUTOR_WORKERS != workers:
+        _EXECUTOR.shutdown(wait=True)
+        _EXECUTOR = None
+    if _EXECUTOR is None:
+        _EXECUTOR = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTOR_WORKERS = workers
+    return _EXECUTOR
+
+
+def shutdown_verification_pool() -> None:
+    """Tear down the persistent pool (idempotent; re-created on next use)."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=True)
+        _EXECUTOR = None
+        _EXECUTOR_WORKERS = 0
+
+
+atexit.register(shutdown_verification_pool)
 
 
 class ParallelLocalModelChecker:
@@ -375,9 +466,13 @@ class ParallelLocalModelChecker:
     def _verify_all(self, units: Sequence[WorkUnit]) -> List[WorkerReport]:
         """Verify every unit, in-process or across the pool (§5.4 fan-out).
 
-        Returns one :class:`WorkerReport` per unit, in unit order —
-        ``pool.starmap`` preserves order, so the trace the parent re-emits
-        stays causally aligned with the unit list.
+        Returns one :class:`WorkerReport` per unit, in unit order.  Units
+        are grouped into batches (about four per worker) whose sequences are
+        deduplicated into one shared table each, submitted to the persistent
+        :func:`_shared_executor` pool; futures are resolved in submission
+        order, so the trace the parent re-emits stays causally aligned with
+        the unit list.  A broken pool (a killed worker) is rebuilt once and
+        the whole generation retried before giving up.
         """
         max_combinations = self._report_config.max_combinations_per_check
         if not units:
@@ -387,12 +482,30 @@ class ParallelLocalModelChecker:
                 verify_unit_profiled(unit, max_combinations) for unit in units
             ]
         workers = self.workers or multiprocessing.cpu_count()
-        with multiprocessing.Pool(processes=workers) as pool:
-            return pool.starmap(
-                verify_unit_profiled,
-                [(unit, max_combinations) for unit in units],
-                chunksize=max(1, len(units) // (workers * 4) or 1),
-            )
+        batch_size = max(1, -(-len(units) // (workers * 4)))
+        batches = [
+            _encode_batch(units[start : start + batch_size])
+            for start in range(0, len(units), batch_size)
+        ]
+        for attempt in (0, 1):
+            executor = _shared_executor(workers)
+            try:
+                futures = [
+                    executor.submit(
+                        _verify_batch_task, table, specs, max_combinations
+                    )
+                    for table, specs in batches
+                ]
+                return [
+                    report
+                    for future in futures
+                    for report in future.result()
+                ]
+            except BrokenProcessPool:
+                shutdown_verification_pool()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
 
     @staticmethod
     def _resolve_trace(

@@ -143,10 +143,44 @@ class NodeStateStore:
         self.node = node
         self.records: List[NodeStateRecord] = []
         self._by_hash: Dict[int, NodeStateRecord] = {}
+        #: Structural version: bumped when a record is added and — via
+        #: :meth:`note_link` — when a predecessor pointer lands anywhere in
+        #: the store.  The soundness verifier keys its per-record sequence
+        #: memo on this, so a memoised path enumeration is reused exactly
+        #: until the predecessor DAG could have changed.
+        self.version = 0
+        self._discards = 0
+        self._active_cache: Optional[Tuple[Tuple[int, int], List[NodeStateRecord]]] = None
 
     def lookup(self, state_hash: int) -> Optional[NodeStateRecord]:
         """The record with this state hash, if the state was visited."""
         return self._by_hash.get(state_hash)
+
+    def note_link(self) -> None:
+        """Record that a predecessor pointer was added to some record here."""
+        self.version += 1
+
+    def mark_discarded(self, record: NodeStateRecord) -> None:
+        """Discard ``record`` (§4.2 assertion policy), keeping caches honest."""
+        if not record.discarded:
+            record.discarded = True
+            self._discards += 1
+            self._active_cache = None
+
+    def active_records(self) -> List[NodeStateRecord]:
+        """Non-discarded records in discovery order, cached incrementally.
+
+        System-state enumeration reads this list once per new anchor; the
+        cache is invalidated by growth or discards, so steady-state rounds
+        stop rebuilding an O(states) list per enumeration.
+        """
+        key = (len(self.records), self._discards)
+        cached = self._active_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        active = [record for record in self.records if not record.discarded]
+        self._active_cache = (key, active)
+        return active
 
     def add(
         self,
@@ -170,6 +204,7 @@ class NodeStateStore:
         )
         self.records.append(record)
         self._by_hash[state_hash] = record
+        self.version += 1
         return record
 
     def __len__(self) -> int:

@@ -41,6 +41,7 @@ Deviations from the paper, both explicit and bounded:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.records import LocalStateSpace, NodeStateRecord, PredecessorLink
@@ -51,19 +52,27 @@ from repro.stats.counters import ExplorationStats
 
 
 class SequenceStep:
-    """One event of a node sequence, in hash form plus the original event."""
+    """One event of a node sequence, in hash form plus the original event.
 
-    __slots__ = ("event", "consumed_hash", "generated_hashes")
+    ``event_hash`` is the predecessor pointer's stored hash of the event
+    (§4.2), carried for diagnostics and for callers that identify steps
+    without touching the event value.  It is optional (``None``) because
+    hand-built steps in tests don't need it.
+    """
+
+    __slots__ = ("event", "consumed_hash", "generated_hashes", "event_hash")
 
     def __init__(
         self,
         event: Event,
         consumed_hash: Optional[int],
         generated_hashes: Tuple[int, ...],
+        event_hash: Optional[int] = None,
     ):
         self.event = event
         self.consumed_hash = consumed_hash
         self.generated_hashes = generated_hashes
+        self.event_hash = event_hash
 
     @property
     def is_network(self) -> bool:
@@ -85,12 +94,31 @@ class SoundnessVerifier:
         max_sequences_per_node: Optional[int] = None,
         max_combinations: Optional[int] = None,
         emitter: TraceEmitter = NULL_EMITTER,
+        memoize: bool = True,
+        replay_cache_limit: Optional[int] = 4096,
     ):
         self._space = space
         self._stats = stats
         self._max_sequences = max_sequences_per_node
         self._max_combinations = max_combinations
         self._emitter = emitter
+        self._memoize = memoize
+        self._replay_cache_limit = replay_cache_limit
+        #: (node, record index) -> (store version at compute time, sequences).
+        #: A bumped store version (new record or new predecessor pointer
+        #: anywhere in that node's store) invalidates the entry, so memoised
+        #: enumerations are reused exactly while the DAG below them is stable.
+        self._sequence_memo: Dict[
+            Tuple[NodeId, int], Tuple[int, List[NodeSequence]]
+        ] = {}
+        #: Combination replay key -> executed order as (node, step index)
+        #: pairs, or None when no valid total order exists.  The key is built
+        #: purely from event/consumed/generated hashes, which determine the
+        #: replay outcome; the witness events are re-resolved against the
+        #: *current* combination, so traces are identical to uncached runs.
+        self._replay_cache: "OrderedDict[tuple, Optional[Tuple[Tuple[NodeId, int], ...]]]" = (
+            OrderedDict()
+        )
 
     # -- public API -----------------------------------------------------------
 
@@ -143,15 +171,76 @@ class SoundnessVerifier:
             ):
                 return None
             self._stats.soundness_sequences += 1
-            witness = replay_sequences(combo)
-            if witness is not None:
-                return witness
+            order = self._replay(combo)
+            if order is not None:
+                return tuple(combo[node][index].event for node, index in order)
         return None
+
+    def _replay(
+        self, combo: Dict[NodeId, NodeSequence]
+    ) -> Optional[Tuple[Tuple[NodeId, int], ...]]:
+        """Replay a sequence combination, consulting the verdict cache.
+
+        The replay outcome — both whether a valid total order exists and
+        *which* order the deterministic search finds — is a pure function of
+        the per-step ``(consumed_hash, generated_hashes)`` tuples, so those
+        form the cache key.  Witness events are resolved by the caller
+        against the current combination, keeping traces byte-identical to
+        uncached runs.
+        """
+        if not self._memoize:
+            return replay_sequences_indexed(combo)
+        key = tuple(
+            (
+                node,
+                tuple(
+                    (step.consumed_hash, step.generated_hashes)
+                    for step in combo[node]
+                ),
+            )
+            for node in sorted(combo)
+        )
+        cache = self._replay_cache
+        cached = cache.get(key, _REPLAY_MISS)
+        if cached is not _REPLAY_MISS:
+            cache.move_to_end(key)
+            self._stats.replay_cache_hits += 1
+            return cached
+        order = replay_sequences_indexed(combo)
+        cache[key] = order
+        if (
+            self._replay_cache_limit is not None
+            and len(cache) > self._replay_cache_limit
+        ):
+            cache.popitem(last=False)
+        return order
 
     # -- sequence enumeration ------------------------------------------------
 
     def _enumerate_sequences(self, record: NodeStateRecord) -> List[NodeSequence]:
         """All simple predecessor paths from the live state to ``record``.
+
+        Memoised per record, keyed on the node store's structural version:
+        any new record or predecessor pointer in that store bumps the
+        version and invalidates the memo, so a reused enumeration is always
+        the one a fresh walk would produce.  Repeated preliminary violations
+        on the same node states — the §5.4 dominant cost — then pay for the
+        DAG walk once instead of per violation.
+        """
+        if not self._memoize:
+            return self._walk_sequences(record)
+        store = self._space.store(record.node)
+        key = (record.node, record.index)
+        cached = self._sequence_memo.get(key)
+        if cached is not None and cached[0] == store.version:
+            self._stats.sequence_cache_hits += 1
+            return cached[1]
+        sequences = self._walk_sequences(record)
+        self._sequence_memo[key] = (store.version, sequences)
+        return sequences
+
+    def _walk_sequences(self, record: NodeStateRecord) -> List[NodeSequence]:
+        """The uncached predecessor-DAG walk behind :meth:`_enumerate_sequences`.
 
         Walks the predecessor DAG backwards; a path never revisits a state
         hash (simple paths) and self-referencing links are skipped, per the
@@ -179,7 +268,12 @@ class SoundnessVerifier:
                 if previous is None:
                     continue
                 suffix.append(
-                    SequenceStep(link.event, link.consumed_hash, link.generated_hashes)
+                    SequenceStep(
+                        link.event,
+                        link.consumed_hash,
+                        link.generated_hashes,
+                        link.event_hash,
+                    )
                 )
                 seen.add(link.prev_hash)
                 keep_going = walk(previous, suffix, seen)
@@ -213,19 +307,25 @@ class SoundnessVerifier:
         yield from recurse(0, {})
 
 
-def replay_sequences(
+#: Cache-miss sentinel for the replay verdict cache (``None`` is a verdict).
+_REPLAY_MISS = object()
+
+
+def replay_sequences_indexed(
     sequences: Dict[NodeId, NodeSequence]
-) -> Optional[Tuple[Event, ...]]:
+) -> Optional[Tuple[Tuple[NodeId, int], ...]]:
     """The ``isSequenceValid`` greedy replay over message hashes.
 
-    Returns the total order of events (as a tuple) when every node's sequence
-    drains, else ``None``.  When greedy starves and the failure could be a
-    greedy artefact (competing consumers of one hash), retries with
-    :func:`backtrack_order`.
+    Returns the executed total order as ``(node, step index)`` pairs when
+    every node's sequence drains, else ``None``.  When greedy starves and
+    the failure could be a greedy artefact (competing consumers of one
+    hash), retries with :func:`backtrack_order`.  The outcome depends only
+    on the steps' consumed/generated hashes, which is what makes verdicts
+    cacheable across combinations.
     """
     pointers: Dict[NodeId, int] = {node: 0 for node in sequences}
     net: Dict[int, int] = {}
-    order: List[Event] = []
+    order: List[Tuple[NodeId, int]] = []
     total = sum(len(sequence) for sequence in sequences.values())
     nodes = sorted(sequences)
 
@@ -248,7 +348,7 @@ def replay_sequences(
                         net[step.consumed_hash] = available - 1
                 for generated in step.generated_hashes:
                     net[generated] = net.get(generated, 0) + 1
-                order.append(step.event)
+                order.append((node, pointer))
                 pointer += 1
                 executed += 1
                 progress = True
@@ -267,7 +367,17 @@ def replay_sequences(
     found = backtrack_order(plain)
     if found is None:
         return None
-    return tuple(sequences[node][index].event for node, index in found)
+    return tuple(found)
+
+
+def replay_sequences(
+    sequences: Dict[NodeId, NodeSequence]
+) -> Optional[Tuple[Event, ...]]:
+    """:func:`replay_sequences_indexed` with the order resolved to events."""
+    order = replay_sequences_indexed(sequences)
+    if order is None:
+        return None
+    return tuple(sequences[node][index].event for node, index in order)
 
 
 #: A step reduced to pure hash bookkeeping: (consumed or None, generated).

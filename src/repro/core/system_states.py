@@ -44,8 +44,41 @@ def combination_to_system_state(combo: Combination) -> SystemState:
 
 
 def _active_records(space: LocalStateSpace, node: NodeId) -> List[NodeStateRecord]:
-    """Visited records of ``node`` that were not discarded by a local assert."""
-    return [record for record in space.store(node) if not record.discarded]
+    """Visited records of ``node`` that were not discarded by a local assert.
+
+    Delegates to the store's incrementally cached list: anchored enumeration
+    runs once per new node state, so rebuilding this O(states) list per call
+    used to be quadratic over a run.
+    """
+    return space.store(node).active_records()
+
+
+class ProjectionIndex:
+    """Per-node index of records with a non-``None`` invariant projection.
+
+    The pairwise LMC-OPT scan only ever pairs the anchor with records whose
+    projection is non-``None``; maintaining those records (with their
+    projections) incrementally — one :meth:`note` per newly discovered state
+    — replaces the per-anchor rescan of every visited state.  Entries are
+    kept in discovery order and discarded records are skipped at read time,
+    so the enumeration order is exactly that of the uncached scan.
+    """
+
+    __slots__ = ("_by_node",)
+
+    def __init__(self, node_ids: Sequence[NodeId]):
+        self._by_node: Dict[NodeId, List[Tuple[NodeStateRecord, object]]] = {
+            node: [] for node in node_ids
+        }
+
+    def note(self, node: NodeId, record: NodeStateRecord, projection: object) -> None:
+        """Register a newly discovered record's projection (``None`` ignored)."""
+        if projection is not None:
+            self._by_node[node].append((record, projection))
+
+    def candidates(self, node: NodeId) -> List[Tuple[NodeStateRecord, object]]:
+        """(record, projection) pairs of ``node`` in discovery order."""
+        return self._by_node[node]
 
 
 def enumerate_general(
@@ -86,6 +119,7 @@ def enumerate_optimized(
     invariant: DecomposableInvariant,
     completion_cap: Optional[int] = None,
     projection_of=None,
+    index: Optional[ProjectionIndex] = None,
 ) -> Iterator[Combination]:
     """LMC-OPT enumeration: only combinations whose projections conflict.
 
@@ -107,7 +141,7 @@ def enumerate_optimized(
         )
     if invariant.pairwise:
         yield from _enumerate_pairwise(
-            space, anchor_node, anchor, invariant, completion_cap, projection_of
+            space, anchor_node, anchor, invariant, completion_cap, projection_of, index
         )
         return
     if _uses_default_conflict(invariant):
@@ -127,23 +161,51 @@ def _enumerate_pairwise(
     invariant: DecomposableInvariant,
     completion_cap: Optional[int],
     projection_of,
+    index: Optional[ProjectionIndex] = None,
 ) -> Iterator[Combination]:
     """Conflicting (anchor, other) pairs, each completed over remaining nodes.
 
     Pairs *not* involving the anchor were already examined when their later
     member was the anchor of an earlier round, so anchored pairs suffice.
     Completions are enumerated in discovery order and capped per pair.
+
+    With a :class:`ProjectionIndex` the partner scan walks only the records
+    whose projection is non-``None`` (skipping discarded ones at read time);
+    without one it scans every active record — same pairs, same order.
     """
     anchor_projection = projection_of(anchor_node, anchor)
     if anchor_projection is None:
         return
+    # The default conflict notion over two projections reduces to `!=`
+    # (two distinct dict values iff the set of values has two elements);
+    # specialising skips a dict + set build per candidate pair in the
+    # hottest enumeration loop.  Overridden notions keep the full call.
+    default_conflict = _uses_default_conflict(invariant)
     other_nodes = [node for node in space.node_ids if node != anchor_node]
     for partner_node in other_nodes:
-        for partner in _active_records(space, partner_node):
-            partner_projection = projection_of(partner_node, partner)
+        if index is not None:
+            candidates = (
+                (partner, projection)
+                for partner, projection in index.candidates(partner_node)
+                if not partner.discarded
+            )
+        else:
+            candidates = (
+                (partner, projection_of(partner_node, partner))
+                for partner in _active_records(space, partner_node)
+            )
+        for partner, partner_projection in candidates:
             if partner_projection is None:
                 continue
-            if not invariant.projections_conflict(
+            if default_conflict:
+                # identity-or-equality, exactly like set membership in the
+                # default projections_conflict
+                if (
+                    partner_projection is anchor_projection
+                    or partner_projection == anchor_projection
+                ):
+                    continue
+            elif not invariant.projections_conflict(
                 {anchor_node: anchor_projection, partner_node: partner_projection}
             ):
                 continue

@@ -46,6 +46,16 @@ class ExplorationStats:
     #: Deliveries skipped because the message was in the state's history
     #: (§4.2 "Duplicate messages", redundant-execution rule).
     history_skips: int = 0
+    #: Soundness sequence enumerations answered from the per-record memo
+    #: instead of re-walking the predecessor DAG.
+    sequence_cache_hits: int = 0
+    #: Soundness replays answered from the verdict cache instead of
+    #: re-running the hash replay (the combination is still counted in
+    #: ``soundness_sequences`` — the cache changes cost, not semantics).
+    replay_cache_hits: int = 0
+    #: Rejected-combination cache entries dropped by the LRU bound
+    #: (``LMCConfig.rejected_cache_limit``).
+    rejected_cache_evictions: int = 0
     #: Wall-clock seconds attributed to each checker phase; keys are phase
     #: names such as "explore", "system_states", "soundness" (Fig. 13).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -70,6 +80,9 @@ class ExplorationStats:
             "states_discarded_by_assert": self.states_discarded_by_assert,
             "suppressed_duplicates": self.suppressed_duplicates,
             "history_skips": self.history_skips,
+            "sequence_cache_hits": self.sequence_cache_hits,
+            "replay_cache_hits": self.replay_cache_hits,
+            "rejected_cache_evictions": self.rejected_cache_evictions,
             **{f"phase_{name}_s": secs for name, secs in self.phase_seconds.items()},
         }
 
@@ -88,5 +101,8 @@ class ExplorationStats:
         self.states_discarded_by_assert += other.states_discarded_by_assert
         self.suppressed_duplicates += other.suppressed_duplicates
         self.history_skips += other.history_skips
+        self.sequence_cache_hits += other.sequence_cache_hits
+        self.replay_cache_hits += other.replay_cache_hits
+        self.rejected_cache_evictions += other.rejected_cache_evictions
         for phase, seconds in other.phase_seconds.items():
             self.add_phase_time(phase, seconds)

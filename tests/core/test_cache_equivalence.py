@@ -1,0 +1,123 @@
+"""Caches on vs caches off must be observationally identical.
+
+PR 3's hot-path optimizations (interned hashing, memoized soundness replay,
+incremental enumeration) are performance work only: every counter the §5
+benches print, every verdict, and every witness trace must be byte-identical
+with the caches disabled.  ``tools/bench.py`` checks this across processes;
+these tests check it in-process on the two snapshot experiments (§5.5 Paxos
+and §5.6 1Paxos), for both the sequential and the parallel front-end.
+"""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.core.parallel import ParallelLocalModelChecker
+from repro.explore.budget import SearchBudget
+from repro.model import hashing
+from repro.protocols.onepaxos import OnePaxosAgreement
+from repro.protocols.onepaxos import scenarios as onepaxos_scenarios
+from repro.protocols.paxos import PaxosAgreement
+from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
+from repro.protocols.twophase import CommitValidity, EagerCommitCoordinator
+
+#: Snapshot keys excluded from comparison: phase timers are wall-clock, and
+#: the cache-hit counters are definitionally zero in the uncached run.
+EXCLUDED_KEYS = ("phase_",)
+CACHE_ONLY_KEYS = frozenset(
+    {"sequence_cache_hits", "replay_cache_hits", "rejected_cache_evictions"}
+)
+
+
+def _observable(result):
+    counts = {
+        key: value
+        for key, value in result.stats.snapshot().items()
+        if not key.startswith(EXCLUDED_KEYS) and key not in CACHE_ONLY_KEYS
+    }
+    return {
+        "counts": counts,
+        "completed": result.completed,
+        "stop_reason": result.stop_reason,
+        "bugs": [bug.description for bug in result.bugs],
+        "traces": [bug.trace_lines() for bug in result.bugs],
+    }
+
+
+def _run(make_checker, initial, cached, **extra):
+    overrides = dict(extra)
+    if not cached:
+        overrides.update(
+            {"memoize_soundness": False, "incremental_enumeration": False}
+        )
+    if not cached:
+        hashing.configure_interning(False)
+        hashing.configure_encoding_caches(False)
+    try:
+        return make_checker(LMCConfig.optimized(**overrides)).run(initial)
+    finally:
+        hashing.configure_encoding_caches(True)
+        hashing.configure_interning(True)
+
+
+def _paxos_s55():
+    protocol = scenario_protocol(buggy=True)
+    invariant = PaxosAgreement(0)
+    return protocol, invariant, partial_choice_state()
+
+
+def _onepaxos_s56():
+    protocol = onepaxos_scenarios.scenario_protocol(buggy=True)
+    invariant = OnePaxosAgreement(0)
+    return protocol, invariant, onepaxos_scenarios.post_leaderchange_state(protocol)
+
+
+@pytest.mark.parametrize("scenario", [_paxos_s55, _onepaxos_s56], ids=["s55", "s56"])
+def test_local_checker_equivalent_with_and_without_caches(scenario):
+    protocol, invariant, initial = scenario()
+
+    def make(config):
+        return LocalModelChecker(protocol, invariant, config=config)
+
+    cached = _run(make, initial, cached=True)
+    uncached = _run(make, initial, cached=False)
+    assert cached.found_bug and uncached.found_bug
+    assert _observable(cached) == _observable(uncached)
+
+
+#: The parallel front-end defers soundness verification, so it cannot stop
+#: on the first bug and would otherwise exhaust the snapshot spaces; a
+#: deterministic transition budget (the parallel ablation bench's pattern)
+#: plus a preliminary-collection cap keep the work list identical across
+#: modes and the test fast.
+PARALLEL_BUDGET = SearchBudget(max_transitions=400)
+PARALLEL_OVERRIDES = {"max_collected_preliminary": 64}
+
+
+@pytest.mark.parametrize("scenario", [_paxos_s55, _onepaxos_s56], ids=["s55", "s56"])
+def test_parallel_checker_equivalent_with_and_without_caches(scenario):
+    protocol, invariant, initial = scenario()
+
+    def make(config):
+        return ParallelLocalModelChecker(
+            protocol, invariant, budget=PARALLEL_BUDGET, config=config, workers=0
+        )
+
+    cached = _run(make, initial, cached=True, **PARALLEL_OVERRIDES)
+    uncached = _run(make, initial, cached=False, **PARALLEL_OVERRIDES)
+    assert _observable(cached) == _observable(uncached)
+
+
+def test_parallel_confirms_bug_identically_with_and_without_caches():
+    """On a space small enough to exhaust, the confirmed bug is identical."""
+    protocol = EagerCommitCoordinator(3, no_voters=(2,))
+
+    def make(config):
+        return ParallelLocalModelChecker(
+            protocol, CommitValidity(), config=config, workers=0
+        )
+
+    cached = _run(make, None, cached=True)
+    uncached = _run(make, None, cached=False)
+    assert cached.found_bug and uncached.found_bug
+    assert _observable(cached) == _observable(uncached)

@@ -69,7 +69,8 @@ class TestGeneral:
 
     def test_discarded_records_excluded(self):
         space = build_space({0: [("a",)], 1: [(None,), ("b",)]})
-        space.store(1).records[1].discarded = True
+        store = space.store(1)
+        store.mark_discarded(store.records[1])
         combos = list(enumerate_general(space, 0, anchor_of(space, 0)))
         assert len(combos) == 1
 

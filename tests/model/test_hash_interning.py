@@ -1,0 +1,170 @@
+"""Property tests for the hash interning cache.
+
+The contract of :class:`repro.model.hashing.HashInterner` is that it is
+*invisible*: for any model value, the interned encoding, hash and size must
+equal what the uncached walk produces — including after evictions, repeat
+lookups, and for values that are never cacheable (anything containing a
+``dict``).  These tests exercise that contract over arbitrary values.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import hashing
+from repro.model.hashing import (
+    HashInterner,
+    canonical_bytes,
+    configure_encoding_caches,
+    configure_interning,
+    content_hash,
+    content_hash_and_size,
+    content_size,
+    intern_stats,
+    interning_enabled,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    x: int
+    y: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    inner: Inner
+    items: tuple
+    tag: str
+
+
+@pytest.fixture(autouse=True)
+def _restore_hashing_globals():
+    """Every test here may reconfigure the module globals; undo it."""
+    yield
+    configure_encoding_caches(True)
+    configure_interning(True)
+
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.floats(allow_nan=False),
+)
+
+
+def _composites(children):
+    return st.one_of(
+        st.tuples(children, children),
+        st.tuples(children),
+        st.frozensets(st.one_of(st.integers(), st.text(max_size=5)), max_size=4),
+        st.builds(Inner, st.integers(), st.text(max_size=8)),
+        st.builds(
+            Outer,
+            st.builds(Inner, st.integers(), st.text(max_size=8)),
+            st.tuples(children, children),
+            st.text(max_size=8),
+        ),
+        # Mapping values are accepted read-only and poison cacheability.
+        st.dictionaries(st.integers(), children, max_size=3),
+    )
+
+
+values = st.recursive(scalars, _composites, max_leaves=12)
+
+
+@given(values)
+@settings(max_examples=200)
+def test_interned_agrees_with_uncached(value):
+    """Interned bytes/hash/size equal the uncached reference, twice over."""
+    expected = canonical_bytes(value, intern=False)
+    expected_hash = content_hash(value, intern=False)
+    # First pass populates the cache, second pass reads it; both must agree
+    # with the reference walk.
+    for _ in range(2):
+        assert canonical_bytes(value) == expected
+        assert content_hash(value) == expected_hash
+        assert content_size(value) == len(expected)
+        assert content_hash_and_size(value) == (expected_hash, len(expected))
+
+
+@given(values)
+@settings(max_examples=100)
+def test_uncached_mode_agrees_with_cached_mode(value):
+    """The bench's uncached configuration produces identical encodings."""
+    cached = canonical_bytes(value)
+    configure_interning(False)
+    configure_encoding_caches(False)
+    try:
+        assert not interning_enabled()
+        assert canonical_bytes(value) == cached
+        assert content_hash_and_size(value) == (
+            content_hash(value),
+            len(cached),
+        )
+    finally:
+        configure_encoding_caches(True)
+        configure_interning(True)
+
+
+@given(st.lists(st.tuples(st.integers(), st.text(max_size=8)), min_size=10, max_size=30))
+@settings(max_examples=50)
+def test_eviction_preserves_correctness(items):
+    """A tiny LRU evicts constantly yet never changes a hash."""
+    interner = HashInterner(capacity=3)
+    for value in items:
+        out = bytearray()
+        hashing._encode(value, out, interner)
+        assert bytes(out) == canonical_bytes(value, intern=False)
+    assert len(interner) <= 3
+    if len(set(map(id, items))) > 3:
+        assert interner.evictions > 0
+
+
+def test_counters_move_and_pin_identity():
+    configure_interning(True)
+    value = (1, "x", Inner(2, "y"))
+    before = intern_stats()
+    content_hash(value)
+    content_hash(value)  # same object: must be a hit
+    after = intern_stats()
+    assert after["misses"] > before["misses"]
+    assert after["hits"] > before["hits"]
+
+
+def test_dict_values_are_never_cached():
+    configure_interning(True)
+    payload = {"k": 1}
+    value = (payload, "tag")
+    first = content_hash(value)
+    assert first == content_hash(value, intern=False)
+    # Mutating the dict must be observed: nothing on the path to it may
+    # have been cached.
+    payload["k"] = 2
+    second = content_hash(value)
+    assert second != first
+    assert second == content_hash(value, intern=False)
+
+
+def test_disabling_interning_reports_zero_stats():
+    configure_interning(False)
+    assert not interning_enabled()
+    assert intern_stats() == {
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "entries": 0,
+        "capacity": 0,
+    }
+    # Hashing still works without the cache.
+    assert content_hash((1, 2)) == content_hash((1, 2), intern=False)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        HashInterner(capacity=0)

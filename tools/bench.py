@@ -1,0 +1,345 @@
+#!/usr/bin/env python3
+"""Before/after benchmark harness for the LMC hot-path caches.
+
+Runs the Fig. 10/11 workloads (and the §5.5/§5.6 snapshot experiments) in
+two modes — *cached* (every cache enabled, the library default) and
+*uncached* (interning, encoding caches, soundness memoization and
+incremental enumeration all disabled, reproducing the pre-optimization hot
+path) — and writes ``BENCH_lmc.json`` with wall-clock, transition counts,
+peak RSS and cache hit rates.
+
+Every (workload, mode) pair executes in a fresh child process so each
+measurement sees cold caches, an honest ``ru_maxrss``, and no JIT-warm
+interpreter state from the other mode.  Wall-clock is the **minimum** over
+``--repeat`` runs (minimum, not mean: scheduling noise only ever adds time).
+
+The harness *asserts* that both modes produce identical counters, verdicts
+and witness traces — the caches are required to be semantics-preserving —
+and exits non-zero on any divergence, which is what the CI perf-smoke job
+keys on.  Wall-clock is recorded but never gated in ``--quick`` mode:
+shared CI runners are too noisy to assert timing.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py                 # full suite
+    PYTHONPATH=src python tools/bench.py --quick         # CI smoke subset
+    PYTHONPATH=src python tools/bench.py --verify-counts BENCH_lmc.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+if SRC_ROOT not in sys.path:
+    sys.path.insert(0, SRC_ROOT)
+
+#: Counter keys excluded from the cross-mode equality check: phase timers
+#: are wall-clock, and the cache-hit counters are *about* the caches (the
+#: uncached mode reports zeros for them by construction).
+NONDETERMINISTIC_KEYS = ("phase_",)
+CACHE_ONLY_KEYS = frozenset(
+    {"sequence_cache_hits", "replay_cache_hits", "rejected_cache_evictions"}
+)
+
+#: Depths for the Fig. 10 sweep.  ``max_depth`` bounds *per-node* discovery
+#: depth, which saturates around 9 on the single-proposal space, so this
+#: brackets early, middle and full exploration.
+FIG10_DEPTHS = (4, 6, 8, 10)
+
+
+# -- workload definitions (imported lazily, children only) ---------------------
+
+
+def _build_checker(workload: str, config_overrides: Dict[str, Any]):
+    """Return ``(checker, initial_system)`` for a workload name.
+
+    Imports live here so the parent process never loads ``repro`` — parents
+    only fork children and compare their JSON reports.
+    """
+    from repro.core.checker import LocalModelChecker
+    from repro.core.config import LMCConfig
+    from repro.explore.budget import SearchBudget
+
+    if workload in ("paxos_opt", "paxos_gen") or workload.startswith("fig10_d"):
+        from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
+
+        protocol = PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),))
+        invariant = PaxosAgreement(0)
+        if workload == "paxos_gen":
+            config = LMCConfig.general(**config_overrides)
+            budget = SearchBudget.unbounded()
+        else:
+            config = LMCConfig.optimized(**config_overrides)
+            budget = (
+                SearchBudget(max_depth=int(workload[len("fig10_d") :]))
+                if workload.startswith("fig10_d")
+                else SearchBudget.unbounded()
+            )
+        return LocalModelChecker(protocol, invariant, budget, config), None
+
+    if workload == "s55_snapshot":
+        from repro.protocols.paxos import PaxosAgreement
+        from repro.protocols.paxos.scenarios import (
+            partial_choice_state,
+            scenario_protocol,
+        )
+
+        checker = LocalModelChecker(
+            scenario_protocol(buggy=True),
+            PaxosAgreement(0),
+            config=LMCConfig.optimized(**config_overrides),
+        )
+        return checker, partial_choice_state()
+
+    if workload == "s56_onepaxos":
+        from repro.protocols.onepaxos import OnePaxosAgreement
+        from repro.protocols.onepaxos.scenarios import (
+            post_leaderchange_state,
+            scenario_protocol,
+        )
+
+        protocol = scenario_protocol(buggy=True)
+        checker = LocalModelChecker(
+            protocol,
+            OnePaxosAgreement(0),
+            config=LMCConfig.optimized(**config_overrides),
+        )
+        return checker, post_leaderchange_state(protocol)
+
+    raise SystemExit(f"unknown workload: {workload}")
+
+
+def _run_child(workload: str, mode: str) -> None:
+    """Child entry: run one (workload, mode) and print a JSON report."""
+    import resource
+
+    from repro.model import hashing
+
+    if mode == "uncached":
+        hashing.configure_interning(False)
+        hashing.configure_encoding_caches(False)
+        overrides: Dict[str, Any] = {
+            "memoize_soundness": False,
+            "incremental_enumeration": False,
+        }
+    else:
+        overrides = {}
+
+    checker, initial = _build_checker(workload, overrides)
+    start = time.perf_counter()
+    result = checker.run(initial)
+    wall_s = time.perf_counter() - start
+
+    counts = {
+        key: value
+        for key, value in result.stats.snapshot().items()
+        if not key.startswith(NONDETERMINISTIC_KEYS)
+        and key not in CACHE_ONLY_KEYS
+    }
+    report = {
+        "wall_s": wall_s,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "counts": counts,
+        "completed": result.completed,
+        "bugs": [bug.description for bug in result.bugs],
+        "traces": [bug.trace_lines() for bug in result.bugs],
+        "intern": hashing.intern_stats(),
+        "cache_hits": {
+            key: result.stats.snapshot()[key] for key in sorted(CACHE_ONLY_KEYS)
+        },
+    }
+    json.dump(report, sys.stdout)
+
+
+# -- parent-side orchestration -------------------------------------------------
+
+
+def _spawn(workload: str, mode: str) -> Dict[str, Any]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child", workload, mode],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"child {workload}/{mode} failed:\n{proc.stderr}\n{proc.stdout}"
+        )
+    return json.loads(proc.stdout)
+
+
+def _measure(workload: str, mode: str, repeat: int) -> Dict[str, Any]:
+    """Best-of-``repeat`` child runs; counts must agree across repeats."""
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(repeat):
+        report = _spawn(workload, mode)
+        if best is None:
+            best = report
+        else:
+            if report["counts"] != best["counts"]:
+                raise SystemExit(
+                    f"{workload}/{mode}: counts differ between repeats "
+                    "(the checker must be deterministic)"
+                )
+            if report["wall_s"] < best["wall_s"]:
+                best["wall_s"] = report["wall_s"]
+            best["peak_rss_kb"] = min(best["peak_rss_kb"], report["peak_rss_kb"])
+    assert best is not None
+    return best
+
+
+def _hit_rate(intern: Dict[str, int]) -> Optional[float]:
+    total = intern.get("hits", 0) + intern.get("misses", 0)
+    return round(intern["hits"] / total, 4) if total else None
+
+
+def _compare_modes(workload: str, cached: Dict[str, Any], uncached: Dict[str, Any]) -> List[str]:
+    """Equality errors between the two modes ([] when semantics match)."""
+    errors = []
+    for field in ("counts", "completed", "bugs", "traces"):
+        if cached[field] != uncached[field]:
+            errors.append(
+                f"{workload}: {field} diverge between cached and uncached "
+                f"modes:\n  cached:   {cached[field]}\n  uncached: {uncached[field]}"
+            )
+    return errors
+
+
+def run_suite(workloads: List[str], repeat: int) -> Dict[str, Any]:
+    results: Dict[str, Any] = {}
+    errors: List[str] = []
+    for workload in workloads:
+        print(f"[bench] {workload} ...", flush=True)
+        cached = _measure(workload, "cached", repeat)
+        uncached = _measure(workload, "uncached", repeat)
+        errors.extend(_compare_modes(workload, cached, uncached))
+        speedup = (
+            round(uncached["wall_s"] / cached["wall_s"], 3)
+            if cached["wall_s"] > 0
+            else None
+        )
+        results[workload] = {
+            "counts": cached["counts"],
+            "completed": cached["completed"],
+            "bugs": cached["bugs"],
+            "cached_wall_s": round(cached["wall_s"], 4),
+            "uncached_wall_s": round(uncached["wall_s"], 4),
+            "speedup": speedup,
+            "cached_peak_rss_kb": cached["peak_rss_kb"],
+            "uncached_peak_rss_kb": uncached["peak_rss_kb"],
+            "intern_hit_rate": _hit_rate(cached["intern"]),
+            "cache_hits": cached["cache_hits"],
+        }
+        print(
+            f"[bench]   cached={cached['wall_s']:.3f}s "
+            f"uncached={uncached['wall_s']:.3f}s speedup={speedup}x",
+            flush=True,
+        )
+    if errors:
+        raise SystemExit("count/verdict divergence:\n" + "\n".join(errors))
+    return results
+
+
+def verify_counts(results: Dict[str, Any], baseline_path: str) -> None:
+    """Fail when counts drifted from a committed baseline (timing ignored)."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    errors = []
+    for workload, entry in results.items():
+        base = baseline.get("workloads", {}).get(workload)
+        if base is None:
+            continue  # baseline predates this workload; not a regression
+        for field in ("counts", "completed", "bugs"):
+            if entry[field] != base[field]:
+                errors.append(
+                    f"{workload}: {field} regressed vs {baseline_path}:\n"
+                    f"  baseline: {base[field]}\n  current:  {entry[field]}"
+                )
+    if errors:
+        raise SystemExit("baseline regression:\n" + "\n".join(errors))
+    print(f"[bench] counts match baseline {baseline_path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--child", nargs=2, metavar=("WORKLOAD", "MODE"))
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI subset: skips paxos_gen and the full-depth sweep",
+    )
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT, "BENCH_lmc.json"))
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="runs per (workload, mode); best kept"
+    )
+    parser.add_argument(
+        "--verify-counts",
+        metavar="BASELINE.json",
+        help="compare counts/verdicts against a committed baseline "
+        "(wall-clock is never compared)",
+    )
+    parser.add_argument(
+        "--no-speedup-gate",
+        action="store_true",
+        help="skip the >=2x paxos_opt wall-clock assertion (implied by --quick)",
+    )
+    args = parser.parse_args()
+
+    if args.child:
+        _run_child(*args.child)
+        return
+
+    if args.quick:
+        workloads = ["paxos_opt", "fig10_d6", "s55_snapshot"]
+        repeat = max(1, min(args.repeat, 2))
+    else:
+        workloads = [
+            "paxos_opt",
+            "paxos_gen",
+            *[f"fig10_d{d}" for d in FIG10_DEPTHS],
+            "s55_snapshot",
+            "s56_onepaxos",
+        ]
+        repeat = args.repeat
+
+    results = run_suite(workloads, repeat)
+
+    # Write the report before any gating so a failing gate still leaves the
+    # measurements on disk (CI uploads them as an artifact either way).
+    payload = {
+        "benchmark": "LMC hot-path caches (cached vs uncached)",
+        "python": sys.version.split()[0],
+        "repeat": repeat,
+        "quick": args.quick,
+        "workloads": results,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench] wrote {args.out}")
+
+    if args.verify_counts:
+        verify_counts(results, args.verify_counts)
+
+    if not args.quick and not args.no_speedup_gate:
+        speedup = results["paxos_opt"]["speedup"]
+        if speedup is None or speedup < 2.0:
+            raise SystemExit(
+                f"paxos_opt speedup {speedup}x below the 2x target "
+                "(rerun on an idle machine, or pass --no-speedup-gate)"
+            )
+
+
+if __name__ == "__main__":
+    main()
