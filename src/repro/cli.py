@@ -158,6 +158,28 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--max-seconds", type=float, default=None)
         command.add_argument("--max-depth", type=int, default=None)
         command.add_argument("--workers", type=int, default=0)
+        command.add_argument(
+            "--faults",
+            action="store_true",
+            help="explore crash/restart fault schedules (LMC algorithms "
+            "only; see docs/FAULTS.md)",
+        )
+        command.add_argument(
+            "--max-crashes-per-node",
+            type=int,
+            default=1,
+            metavar="N",
+            help="crashes allowed on any single node's discovery path "
+            "(default 1; implies --faults semantics only when --faults is set)",
+        )
+        command.add_argument(
+            "--max-total-crashes",
+            type=int,
+            default=None,
+            metavar="N",
+            help="global cap on crash events across the run "
+            "(default: only the per-node bound)",
+        )
 
     check = sub.add_parser("check", help="model check a named workload")
     add_check_flags(check)
@@ -214,22 +236,31 @@ def run_check(
     protocol, invariant = builder(args.nodes, args.buggy)
     budget = SearchBudget(max_depth=args.max_depth, max_seconds=args.max_seconds)
     interval = getattr(args, "metrics_interval", None)
+    fault_overrides = {}
+    if getattr(args, "faults", False):
+        fault_overrides = dict(
+            fault_events_enabled=True,
+            max_crashes_per_node=args.max_crashes_per_node,
+            max_total_crashes=args.max_total_crashes,
+        )
     if args.algorithm == "bdfs":
+        # The fault scheduler is an LMC feature (docs/FAULTS.md); B-DFS
+        # explores the paper's original event vocabulary.
         return GlobalModelChecker(protocol, invariant, budget=budget).run()
     if args.algorithm == "lmc-parallel":
         return ParallelLocalModelChecker(
             protocol,
             invariant,
             budget=budget,
-            config=LMCConfig.optimized(),
+            config=LMCConfig.optimized(**fault_overrides),
             workers=args.workers or None,
             emitter=emitter,
             metrics_interval=interval,
         ).run()
     config = (
-        LMCConfig.optimized()
+        LMCConfig.optimized(**fault_overrides)
         if args.algorithm == "lmc-opt"
-        else LMCConfig.general()
+        else LMCConfig.general(**fault_overrides)
     )
     return LocalModelChecker(
         protocol,

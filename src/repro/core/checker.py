@@ -19,6 +19,15 @@ Modes (§5):
 * phase toggles reproduce the Fig. 13 configurations **LMC-explore**
   (``create_system_states=False``) and **LMC-system-state**
   (``verify_soundness=False``).
+
+With ``LMCConfig.fault_events_enabled`` the round additionally runs a
+**fault scheduler** (docs/FAULTS.md): every eligible node state is crashed
+(producing a :class:`~repro.model.types.CrashedState` marker record that
+executes no further events and joins no system state) and every crashed
+record is restarted from its durable fragment.  The monotonic ``I+`` makes
+this composition cheap — a crashed node's in-flight messages stay available
+by construction.  Off by default, and when off the checker is byte-identical
+to a build without the scheduler.
 """
 
 from __future__ import annotations
@@ -44,11 +53,26 @@ from repro.core.system_states import (
 )
 from repro.explore.budget import BudgetClock, SearchBudget
 from repro.invariants.base import DecomposableInvariant, Invariant, LocalInvariant
-from repro.model.events import DeliveryEvent, Event, InternalEvent, event_hash, message_hashes
+from repro.model.events import (
+    CrashEvent,
+    DeliveryEvent,
+    Event,
+    InternalEvent,
+    RestartEvent,
+    event_hash,
+    message_hashes,
+)
 from repro.model.hashing import content_hash, intern_stats, interning_enabled
 from repro.model.protocol import Protocol
 from repro.model.system_state import SystemState
-from repro.model.types import Action, HandlerResult, LocalAssertionError, NodeId
+from repro.model.types import (
+    Action,
+    CrashedState,
+    HandlerResult,
+    LocalAssertionError,
+    NodeId,
+)
+from repro.protocols.common import durable_projection, restart_state
 from repro.network.monotonic import MonotonicNetwork, StoredMessage
 from repro.obs.emitter import NULL_EMITTER, TraceEmitter
 from repro.obs.metrics import RunMetrics
@@ -222,6 +246,12 @@ class _ExplorationPass:
         self._node_max_depth: Dict[NodeId, int] = {}
         self._retained_bytes = 0
         self._local_cursor: Dict[NodeId, int] = {}
+        #: Fault-scheduler cursor per node: index of the next record to offer
+        #: a crash (or, for crashed marker records, a restart) to.  Only
+        #: advanced when ``fault_events_enabled``.
+        self._fault_cursor: Dict[NodeId, int] = {}
+        #: Crash events executed so far, against ``max_total_crashes``.
+        self._crashes_executed = 0
         self._seed_records: Dict[NodeId, NodeStateRecord] = {}
         # reverify_rejected extension: cached rejected combinations (an LRU
         # ordered dict, bounded by ``rejected_cache_limit``), indexed by the
@@ -318,6 +348,7 @@ class _ExplorationPass:
             record = self.space.seed(node, state)
             self._seed_records[node] = record
             self._local_cursor[node] = 0
+            self._fault_cursor[node] = 0
             self._retained_bytes += record.retained_bytes()
             if self._projection_index is not None:
                 self._projection_index.note(
@@ -346,7 +377,9 @@ class _ExplorationPass:
                 for index in range(stored.cursor, end):
                     record = store.records[index]
                     stored.cursor = index + 1
-                    if record.discarded:
+                    if record.discarded or record.crashed:
+                        # Crashed markers execute nothing; their messages
+                        # wait in ``I+`` for the restarted state.
                         continue
                     if not self._depth_allows(record):
                         continue
@@ -359,7 +392,7 @@ class _ExplorationPass:
             for index in range(start, end):
                 record = store.records[index]
                 self._local_cursor[node] = index + 1
-                if record.discarded:
+                if record.discarded or record.crashed:
                     continue
                 if not self._depth_allows(record):
                     continue
@@ -371,6 +404,45 @@ class _ExplorationPass:
                     continue
                 for action in self.protocol.enabled_actions(record.state):
                     executions += self._execute_internal(record, action)
+        # Fault events (docs/FAULTS.md): crash each eligible node state once,
+        # restart each crashed marker record once.  Entirely absent — not
+        # merely inert — when disabled, so the default run is byte-identical
+        # to a build without the scheduler.
+        if self.config.fault_events_enabled:
+            executions += self._fault_round()
+        return executions
+
+    def _fault_round(self) -> int:
+        """One sweep of the fault scheduler; returns executions done.
+
+        Mirrors the local-event sweep: a per-node cursor offers each record
+        exactly one fault.  A live record gets a :class:`CrashEvent` when its
+        discovery path has crash budget left (per-node and global caps); a
+        crashed marker record gets the :class:`RestartEvent` that boots it
+        from its durable fragment.  Records minted here are swept in a later
+        round, exactly like states minted by handlers.
+        """
+        executions = 0
+        for node in self.space.node_ids:
+            store = self.space.store(node)
+            end = len(store)
+            start = self._fault_cursor[node]
+            for index in range(start, end):
+                record = store.records[index]
+                self._fault_cursor[node] = index + 1
+                if record.discarded:
+                    continue
+                if not self._depth_allows(record):
+                    continue
+                if record.crashed:
+                    executions += self._execute_restart(record)
+                    continue
+                if record.crashes >= self.config.max_crashes_per_node:
+                    continue
+                limit = self.config.max_total_crashes
+                if limit is not None and self._crashes_executed >= limit:
+                    continue
+                executions += self._execute_crash(record)
         return executions
 
     def _depth_allows(self, record: NodeStateRecord) -> bool:
@@ -444,6 +516,61 @@ class _ExplorationPass:
         self._integrate(record, event, None, result, is_internal=True)
         return 1
 
+    def _execute_crash(self, record: NodeStateRecord) -> int:
+        """Crash one node state (docs/FAULTS.md): volatile state is lost.
+
+        The successor is a :class:`~repro.model.types.CrashedState` marker
+        carrying only the protocol's durable fragment.  No network effect:
+        under the monotonic ``I+`` the node's in-flight messages outlive it
+        by construction.  Returns handler executions done (always 1).
+        """
+        self._tick_budget()
+        durable = durable_projection(self.protocol, record.node, record.state)
+        result = HandlerResult(CrashedState(node=record.node, durable=durable))
+        self.stats.transitions += 1
+        self.stats.fault_crashes += 1
+        self._crashes_executed += 1
+        if self.emitter.enabled:
+            self.emitter.event(
+                "fault", kind="crash", node=record.node, depth=record.depth
+            )
+        self._integrate(
+            record,
+            CrashEvent(record.node),
+            None,
+            result,
+            is_internal=False,
+            fault="crash",
+        )
+        return 1
+
+    def _execute_restart(self, record: NodeStateRecord) -> int:
+        """Restart one crashed marker record from its durable fragment.
+
+        The recovered state enters ``LS_n`` like any newly discovered state
+        — with an *empty* history, so messages the node executed before the
+        crash may be redelivered to it (a real redelivery to a rebooted
+        process).  Returns handler executions done (always 1).
+        """
+        self._tick_budget()
+        recovered = restart_state(self.protocol, record.node, record.state.durable)
+        result = HandlerResult(recovered)
+        self.stats.transitions += 1
+        self.stats.fault_restarts += 1
+        if self.emitter.enabled:
+            self.emitter.event(
+                "fault", kind="restart", node=record.node, depth=record.depth
+            )
+        self._integrate(
+            record,
+            RestartEvent(record.node),
+            None,
+            result,
+            is_internal=False,
+            fault="restart",
+        )
+        return 1
+
     def _handle_assertion_failure(self, record: NodeStateRecord) -> None:
         """Apply the §4.2 local-assertion policy to a failing handler.
 
@@ -467,6 +594,7 @@ class _ExplorationPass:
         result: HandlerResult,
         is_internal: bool,
         event_hash_value: Optional[int] = None,
+        fault: Optional[str] = None,
     ) -> None:
         """Fold a handler result into ``LS``/``I+`` (Fig. 9 lines 8-9).
 
@@ -477,6 +605,12 @@ class _ExplorationPass:
         state change without novelty may still add a predecessor pointer,
         which under ``reverify_rejected`` re-opens cached rejected
         combinations (§4.2's completeness patch).
+
+        ``fault`` marks crash/restart integrations (docs/FAULTS.md): a crash
+        mints a crashed marker record (crash count incremented, excluded
+        from enumeration, never anchor-checked); a restart starts the
+        recovered state with an empty history so pre-crash messages can be
+        redelivered to it.
         """
         generated = message_hashes(result.sends)
         self.network.add_all(result.sends)
@@ -509,17 +643,28 @@ class _ExplorationPass:
         history = record.history
         if consumed_hash is not None:
             history = history | {consumed_hash}
+        if fault == "restart":
+            # A rebooted process has no delivery memory: clear the history
+            # so earlier messages can run again on the recovered state.
+            history = frozenset()
         new_record = store.add(
             result.state,
             new_hash,
             depth=record.depth + 1,
             local_depth=record.local_depth + (1 if is_internal else 0),
             history=history,
+            crashes=record.crashes + (1 if fault == "crash" else 0),
+            crashed=fault == "crash",
         )
         new_record.add_predecessor(link)
         self._retained_bytes += new_record.retained_bytes()
         if new_record.depth > self._node_max_depth.get(record.node, 0):
             self._node_max_depth[record.node] = new_record.depth
+        if new_record.crashed:
+            # A down node joins no system state: no projection to index, no
+            # anchored invariant checking.  Its only further event is the
+            # restart the fault sweep will offer it.
+            return
         if self._projection_index is not None:
             self._projection_index.note(
                 record.node,

@@ -123,6 +123,24 @@ class LMCConfig:
     #: ``None`` removes the bound.
     rejected_cache_limit: Optional[int] = 4096
 
+    #: Explore crash/restart fault schedules (docs/FAULTS.md): the checker
+    #: additionally mints a :class:`~repro.model.events.CrashEvent` for every
+    #: eligible visited node state and a
+    #: :class:`~repro.model.events.RestartEvent` for every crashed one.  Off
+    #: by default — the paper's event vocabulary, and byte-identical counters,
+    #: verdicts and witnesses to a build without the fault scheduler.
+    fault_events_enabled: bool = False
+
+    #: Maximum crashes along any single node's discovery path (the per-record
+    #: crash count, mirroring how ``local_depth`` bounds local events).  Only
+    #: consulted when ``fault_events_enabled``.
+    max_crashes_per_node: int = 1
+
+    #: Global cap on crash events executed across the whole run; ``None``
+    #: leaves only the per-node bound.  Only consulted when
+    #: ``fault_events_enabled``.
+    max_total_crashes: Optional[int] = None
+
     #: Reuse incremental per-node structures during system-state creation:
     #: cached active-record lists and — for pairwise LMC-OPT — a per-node
     #: index of records with non-``None`` projections, so each anchored
@@ -151,6 +169,10 @@ class LMCConfig:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive or None")
+        if self.max_crashes_per_node < 0:
+            raise ValueError("max_crashes_per_node must be >= 0")
+        if self.max_total_crashes is not None and self.max_total_crashes < 0:
+            raise ValueError("max_total_crashes must be >= 0 or None")
 
     @classmethod
     def general(cls, **overrides: object) -> "LMCConfig":

@@ -276,11 +276,25 @@ def _shared_executor(workers: int) -> ProcessPoolExecutor:
     return _EXECUTOR
 
 
-def shutdown_verification_pool() -> None:
-    """Tear down the persistent pool (idempotent; re-created on next use)."""
+def shutdown_verification_pool(broken: bool = False) -> None:
+    """Tear down the persistent pool (idempotent; re-created on next use).
+
+    ``broken=True`` is the :class:`BrokenProcessPool` recovery path: the
+    pool's workers are already dead or dying, so waiting on them can hang
+    (and shutdown itself can raise mid-teardown), which would defeat the
+    retry-once recovery in ``_verify_all``.  There we cancel what we can,
+    don't wait, and swallow teardown errors — the pool object is dropped
+    either way and the next use builds a fresh one.
+    """
     global _EXECUTOR, _EXECUTOR_WORKERS
     if _EXECUTOR is not None:
-        _EXECUTOR.shutdown(wait=True)
+        if broken:
+            try:
+                _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 - best-effort teardown of a dead pool
+                pass
+        else:
+            _EXECUTOR.shutdown(wait=True)
         _EXECUTOR = None
         _EXECUTOR_WORKERS = 0
 
@@ -502,7 +516,7 @@ class ParallelLocalModelChecker:
                     for report in future.result()
                 ]
             except BrokenProcessPool:
-                shutdown_verification_pool()
+                shutdown_verification_pool(broken=True)
                 if attempt:
                     raise
         raise AssertionError("unreachable")

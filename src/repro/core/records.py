@@ -70,6 +70,8 @@ class NodeStateRecord:
         "predecessors",
         "seed",
         "discarded",
+        "crashed",
+        "crashes",
         "_link_keys",
     )
 
@@ -82,6 +84,8 @@ class NodeStateRecord:
         depth: int,
         local_depth: int,
         history: FrozenSet[int],
+        crashes: int = 0,
+        crashed: bool = False,
     ):
         self.node = node
         self.state = state
@@ -98,6 +102,16 @@ class NodeStateRecord:
         #: "discard" policy (§4.2): the state is deemed invalid and excluded
         #: from further event execution and from system-state combinations.
         self.discarded = False
+        #: True when ``state`` is a :class:`~repro.model.types.CrashedState`
+        #: marker minted by the fault scheduler (docs/FAULTS.md).  A crashed
+        #: record executes no events (only a restart applies to it) and never
+        #: joins an invariant-checked system state.  Immutable after
+        #: construction, so the active-record cache key stays valid.
+        self.crashed = crashed
+        #: Crash events on the discovery path that first reached this state
+        #: (like ``depth``/``local_depth``, frozen at first discovery — the
+        #: paper's simplification).  Bounded by ``max_crashes_per_node``.
+        self.crashes = crashes
         self._link_keys: set = set()
 
     def add_predecessor(self, link: PredecessorLink) -> bool:
@@ -168,17 +182,24 @@ class NodeStateStore:
             self._active_cache = None
 
     def active_records(self) -> List[NodeStateRecord]:
-        """Non-discarded records in discovery order, cached incrementally.
+        """Non-discarded, non-crashed records in discovery order, cached.
 
         System-state enumeration reads this list once per new anchor; the
         cache is invalidated by growth or discards, so steady-state rounds
-        stop rebuilding an O(states) list per enumeration.
+        stop rebuilding an O(states) list per enumeration.  Crashed marker
+        records are excluded here — a down node joins no invariant-checked
+        system state — and since ``crashed`` is immutable after construction
+        the (length, discards) cache key needs no extra component.
         """
         key = (len(self.records), self._discards)
         cached = self._active_cache
         if cached is not None and cached[0] == key:
             return cached[1]
-        active = [record for record in self.records if not record.discarded]
+        active = [
+            record
+            for record in self.records
+            if not record.discarded and not record.crashed
+        ]
         self._active_cache = (key, active)
         return active
 
@@ -189,6 +210,8 @@ class NodeStateStore:
         depth: int,
         local_depth: int,
         history: FrozenSet[int],
+        crashes: int = 0,
+        crashed: bool = False,
     ) -> NodeStateRecord:
         """Append a new (unvisited) state; caller must have checked lookup."""
         if state_hash in self._by_hash:
@@ -201,6 +224,8 @@ class NodeStateStore:
             depth=depth,
             local_depth=local_depth,
             history=history,
+            crashes=crashes,
+            crashed=crashed,
         )
         self.records.append(record)
         self._by_hash[state_hash] = record

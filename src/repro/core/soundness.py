@@ -30,6 +30,18 @@ falls back to a memoised backtracking search — but only when some consumed
 hash has more than one consumer, the sole case greedy can err on, so the
 common path stays the paper's linear sweep.
 
+Crash/restart steps (docs/FAULTS.md) thread through both enumeration and
+replay with no special casing: their predecessor links carry
+``consumed_hash=None`` and ``generated_hashes=()``, so they behave exactly
+like local events — always enabled, touching ``net`` not at all — and the
+resolved witness trace naturally contains the ``CrashEvent``/``RestartEvent``
+values at their positions in the total order.  One conservatism follows: a
+message both executed before a node's crash and redelivered after its
+restart appears as *two* consumers of one hash, so the replay demands it be
+generated twice.  A real network can redeliver a retransmitted or duplicate
+copy without a second generation; such schedules may therefore be rejected
+as inconclusive (a possible missed bug, never a false positive).
+
 Deviations from the paper, both explicit and bounded:
 
 * self-referencing predecessor links are ignored (the paper does the same);

@@ -44,11 +44,14 @@ def combination_to_system_state(combo: Combination) -> SystemState:
 
 
 def _active_records(space: LocalStateSpace, node: NodeId) -> List[NodeStateRecord]:
-    """Visited records of ``node`` that were not discarded by a local assert.
+    """Visited records of ``node`` eligible to join a system state.
 
     Delegates to the store's incrementally cached list: anchored enumeration
     runs once per new node state, so rebuilding this O(states) list per call
-    used to be quadratic over a run.
+    used to be quadratic over a run.  Excludes records discarded by a local
+    assert and crashed marker records (docs/FAULTS.md) — a down node is
+    never part of an invariant-checked system state, while its post-restart
+    state re-enters here as an ordinary fresh ``LS_n`` record.
     """
     return space.store(node).active_records()
 

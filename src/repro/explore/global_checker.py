@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.explore.budget import BudgetClock, SearchBudget
 from repro.invariants.base import Invariant
-from repro.model.events import DeliveryEvent, Event, InternalEvent
+from repro.model.events import DeliveryEvent, Event, InternalEvent, is_fault_event
 from repro.model.multiset import FrozenMultiset
 from repro.model.protocol import Protocol
 from repro.model.system_state import GlobalState, SystemState
@@ -73,6 +73,12 @@ def apply_event(
         message = event.message
         result = protocol.handle_message(state.system.get(message.dest), message)
         return state.deliver(message, result.state, result.sends)
+    if is_fault_event(event):
+        # Crash/restart (docs/FAULTS.md): Protocol.execute applies the
+        # durability contract; the network is untouched either way — the
+        # crashing node's in-flight messages stay available for delivery.
+        result = protocol.execute(state.system.get(event.node), event)
+        return state.run_internal(event.node, result.state, ())
     result = protocol.handle_action(state.system.get(event.node), event.action)
     if result.is_noop(state.system.get(event.node)):
         return None

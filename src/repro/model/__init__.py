@@ -8,10 +8,13 @@ the live-run simulator (:mod:`repro.online`) are built on it.
 
 from repro.model.conformance import ConformanceReport, check_protocol
 from repro.model.events import (
+    CrashEvent,
     DeliveryEvent,
     Event,
     InternalEvent,
+    RestartEvent,
     event_hash,
+    is_fault_event,
     message_hashes,
 )
 from repro.model.hashing import (
@@ -25,6 +28,7 @@ from repro.model.protocol import Protocol, ProtocolConfigError, broadcast
 from repro.model.system_state import GlobalState, SystemState
 from repro.model.types import (
     Action,
+    CrashedState,
     HandlerResult,
     LocalAssertionError,
     Message,
@@ -36,6 +40,8 @@ from repro.model.types import (
 __all__ = [
     "Action",
     "ConformanceReport",
+    "CrashEvent",
+    "CrashedState",
     "DeliveryEvent",
     "Event",
     "FrozenMultiset",
@@ -47,6 +53,7 @@ __all__ = [
     "NodeId",
     "Protocol",
     "ProtocolConfigError",
+    "RestartEvent",
     "SendSet",
     "SystemState",
     "UnhashableModelValue",
@@ -56,6 +63,7 @@ __all__ = [
     "content_hash",
     "content_size",
     "event_hash",
+    "is_fault_event",
     "local_assert",
     "message_hashes",
 ]

@@ -115,8 +115,11 @@ def check_protocol(
             return None
         try:
             second = handler(state, argument)
-        except Exception:  # noqa: BLE001
-            note(f"{context}: handler is non-deterministic (raised on rerun)")
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            note(
+                f"{context}: handler is non-deterministic "
+                f"(raised on rerun: {type(exc).__name__}: {exc})"
+            )
             return None
         if first.state != second.state or first.sends != second.sends:
             note(f"{context}: handler is non-deterministic (differing results)")

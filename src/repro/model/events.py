@@ -7,6 +7,15 @@ either the delivery of an in-flight message (running the message handler
 local LMC — schedule values of the :class:`Event` union defined here, and
 LMC's predecessor pointers store event *hashes* alongside the hashes of the
 messages each event generated (§4.2).
+
+Beyond the paper's event vocabulary, the LMC fault scheduler
+(docs/FAULTS.md) schedules two *fault* events: :class:`CrashEvent` stops a
+node (volatile state is lost, the durable fragment survives) and
+:class:`RestartEvent` boots it again from its durable fragment.  Fault
+events touch no network — crucially, under the monotonic ``I+`` a crashed
+node's in-flight messages stay available, which is exactly what makes crash
+faults cheap to add to LMC — and behave as local events during soundness
+replay (always enabled, consuming and generating nothing).
 """
 
 from __future__ import annotations
@@ -60,7 +69,69 @@ class InternalEvent:
         return f"run {self.action.describe()}"
 
 
-Event = Union[DeliveryEvent, InternalEvent]
+@dataclass(frozen=True, order=True)
+class CrashEvent:
+    """Crash of a node: its volatile state is lost (a fault event).
+
+    The successor node state is a :class:`~repro.model.types.CrashedState`
+    carrying only the protocol's durable fragment
+    (:func:`repro.protocols.common.durable_projection`).  Messages the node
+    already sent are unaffected — the monotonic network never forgets.
+    """
+
+    crashed_node: NodeId
+
+    @property
+    def node(self) -> NodeId:
+        """The node on which the event executes (the crashing node)."""
+        return self.crashed_node
+
+    @property
+    def is_network(self) -> bool:
+        """False: fault events do not consume a network message."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable rendering used in logs and counterexamples."""
+        return f"crash node {self.crashed_node}"
+
+
+@dataclass(frozen=True, order=True)
+class RestartEvent:
+    """Restart of a crashed node from its durable fragment (a fault event).
+
+    The successor node state is
+    :func:`repro.protocols.common.restart_state` applied to the durable
+    fragment the matching :class:`CrashEvent` preserved — a fresh boot with
+    only the protocol's declared durable fields recovered.
+    """
+
+    restarted_node: NodeId
+
+    @property
+    def node(self) -> NodeId:
+        """The node on which the event executes (the restarting node)."""
+        return self.restarted_node
+
+    @property
+    def is_network(self) -> bool:
+        """False: fault events do not consume a network message."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable rendering used in logs and counterexamples."""
+        return f"restart node {self.restarted_node}"
+
+
+Event = Union[DeliveryEvent, InternalEvent, CrashEvent, RestartEvent]
+
+#: The fault-event types the LMC fault scheduler mints (docs/FAULTS.md).
+FAULT_EVENT_TYPES = (CrashEvent, RestartEvent)
+
+
+def is_fault_event(event: Event) -> bool:
+    """True for the crash/restart events of the fault scheduler."""
+    return isinstance(event, FAULT_EVENT_TYPES)
 
 
 def event_hash(event: Event) -> int:

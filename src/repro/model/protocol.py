@@ -21,9 +21,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Tuple
 
-from repro.model.events import DeliveryEvent, Event, InternalEvent
+from repro.model.events import CrashEvent, DeliveryEvent, Event, InternalEvent, RestartEvent
 from repro.model.system_state import SystemState
-from repro.model.types import Action, HandlerResult, Message, NodeId
+from repro.model.types import Action, CrashedState, HandlerResult, Message, NodeId
 
 
 class Protocol(ABC):
@@ -75,6 +75,11 @@ class Protocol(ABC):
     def execute(self, state: Any, event: Event) -> HandlerResult:
         """Dispatch an event to the matching handler.
 
+        Fault events (docs/FAULTS.md) are handled here rather than by the
+        protocol: a crash projects ``state`` onto the protocol's durable
+        fragment and wraps it in :class:`~repro.model.types.CrashedState`; a
+        restart boots the node from that fragment.  Neither sends messages.
+
         Raises :class:`ValueError` when the event does not target the node
         whose state was supplied — that is always a checker bug, not a
         protocol bug.
@@ -83,6 +88,21 @@ class Protocol(ABC):
             return self.handle_message(state, event.message)
         if isinstance(event, InternalEvent):
             return self.handle_action(state, event.action)
+        if isinstance(event, CrashEvent):
+            # Imported lazily: the durability dispatch helpers live in the
+            # protocols layer, which imports this module at load time.
+            from repro.protocols.common import durable_projection
+
+            durable = durable_projection(self, event.node, state)
+            return HandlerResult(CrashedState(node=event.node, durable=durable))
+        if isinstance(event, RestartEvent):
+            from repro.protocols.common import restart_state
+
+            if not isinstance(state, CrashedState):
+                raise ValueError(
+                    f"restart of node {event.node} which is not crashed: {state!r}"
+                )
+            return HandlerResult(restart_state(self, event.node, state.durable))
         raise ValueError(f"unknown event type: {event!r}")
 
     def num_nodes(self) -> int:

@@ -91,6 +91,27 @@ class HandlerResult:
         return not self.sends and self.state == previous_state
 
 
+@dataclass(frozen=True)
+class CrashedState:
+    """The local state of a node that is down (between crash and restart).
+
+    ``durable`` is the protocol's durable fragment of the pre-crash state
+    (:func:`repro.protocols.common.durable_projection`; ``None`` for
+    all-volatile protocols).  A crashed node executes no handlers and
+    appears in no invariant-checked system state — its only enabled event
+    is the :class:`~repro.model.events.RestartEvent` that boots it again.
+    Content-hashable like every model value, so crashes from states with
+    equal durable fragments dedupe into one ``LS_n`` entry.
+    """
+
+    node: NodeId
+    durable: Any = None
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering used in logs and bug reports."""
+        return f"crashed(node={self.node}, durable={self.durable!r})"
+
+
 class LocalAssertionError(AssertionError):
     """A node-local assertion failed while executing a handler (§4.2).
 

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from typing import Any, Dict, Iterable, List, Tuple, Type
 
-from repro.model.events import DeliveryEvent, Event, InternalEvent
+from repro.model.events import CrashEvent, DeliveryEvent, Event, InternalEvent, RestartEvent
 from repro.model.system_state import SystemState
 from repro.model.types import Action, Message
 from repro.reports import BugReport
@@ -125,7 +127,7 @@ def decode_value(encoded: Any, registry: ClassRegistry) -> Any:
 
 
 def encode_event(event: Event) -> Dict[str, Any]:
-    """Encode a delivery or internal event."""
+    """Encode a delivery, internal or fault event."""
     if isinstance(event, DeliveryEvent):
         message = event.message
         return {
@@ -142,6 +144,10 @@ def encode_event(event: Event) -> Dict[str, Any]:
             "name": action.name,
             "payload": encode_value(action.payload),
         }
+    if isinstance(event, CrashEvent):
+        return {"kind": "crash", "node": event.node}
+    if isinstance(event, RestartEvent):
+        return {"kind": "restart", "node": event.node}
     raise TypeError(f"unknown event type {type(event).__name__}")
 
 
@@ -163,6 +169,10 @@ def decode_event(encoded: Dict[str, Any], registry: ClassRegistry) -> Event:
                 payload=decode_value(encoded["payload"], registry),
             )
         )
+    if encoded["kind"] == "crash":
+        return CrashEvent(encoded["node"])
+    if encoded["kind"] == "restart":
+        return RestartEvent(encoded["node"])
     raise ValueError(f"unknown event kind {encoded.get('kind')!r}")
 
 
@@ -206,10 +216,31 @@ def bug_from_dict(data: Dict[str, Any], registry: ClassRegistry) -> BugReport:
 
 
 def save_bugs(path: str, bugs: Iterable[BugReport]) -> None:
-    """Write a bug corpus to ``path`` as JSON."""
+    """Write a bug corpus to ``path`` as JSON, atomically.
+
+    The corpus is a regression archive — a crash mid-dump must never
+    truncate it.  The payload is therefore written to a same-directory
+    temporary file, flushed and fsynced, then renamed over ``path`` with
+    :func:`os.replace` (atomic on POSIX within one filesystem): readers see
+    either the complete old corpus or the complete new one, never a prefix.
+    """
     payload = {"version": 1, "bugs": [bug_to_dict(bug) for bug in bugs]}
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_bugs(path: str, registry: ClassRegistry) -> List[BugReport]:

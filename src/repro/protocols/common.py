@@ -4,11 +4,57 @@ Protocol node states must be immutable and hashable, so per-index role state
 (Paxos decrees, log slots, …) is kept in *tuple maps*: sorted tuples of
 ``(key, value)`` pairs with functional update.  These helpers keep that idiom
 terse and uniform across protocols.
+
+This module also defines the **durability contract** used by the fault
+scheduler (docs/FAULTS.md).  A protocol that survives crashes declares which
+part of a node state is written to stable storage by implementing two
+optional methods::
+
+    def durable_state(self, node, state):  # state -> durable fragment
+    def restart_state(self, node, durable):  # durable fragment -> boot state
+
+:func:`durable_projection` and :func:`restart_state` dispatch to those
+methods and default to the *all-volatile* semantics — nothing survives a
+crash and a restarted node boots from its initial state — so existing
+protocols need no change to run under fault schedules.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional, Tuple
+
+from repro.model.types import NodeId
+
+
+def durable_projection(protocol: Any, node: NodeId, state: Any) -> Any:
+    """The durable fragment of ``state`` that survives a crash of ``node``.
+
+    Dispatches to the protocol's optional ``durable_state(node, state)``
+    method.  The default is all-volatile: ``None`` — a crash loses
+    everything, which is sound (it only under-approximates what stable
+    storage would preserve) but explores harsher recoveries than a real
+    deployment with disks.  The fragment must be immutable and
+    content-hashable; crashes with equal fragments dedupe into one crashed
+    ``LS_n`` entry.
+    """
+    hook = getattr(protocol, "durable_state", None)
+    if hook is None:
+        return None
+    return hook(node, state)
+
+
+def restart_state(protocol: Any, node: NodeId, durable: Any) -> Any:
+    """The node state ``node`` boots into when restarted from ``durable``.
+
+    Dispatches to the protocol's optional ``restart_state(node, durable)``
+    method.  The default reboots from ``protocol.initial_state(node)``,
+    discarding the (``None``) fragment — consistent with the all-volatile
+    default of :func:`durable_projection`.
+    """
+    hook = getattr(protocol, "restart_state", None)
+    if hook is None:
+        return protocol.initial_state(node)
+    return hook(node, durable)
 
 #: A sorted immutable mapping as a tuple of (key, value) pairs.
 TupleMap = Tuple[Tuple[Any, Any], ...]

@@ -19,7 +19,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.model.protocol import Protocol, ProtocolConfigError, broadcast
 from repro.model.types import Action, HandlerResult, Message, NodeId
-from repro.protocols.common import majority_of
+from repro.protocols.common import TupleMap, majority_of
 from repro.protocols.paxos.messages import (
     Accept,
     Ballot,
@@ -93,6 +93,29 @@ class PaxosProtocol(Protocol):
             initialized=not self.require_init,
             pending=pending,
         )
+
+    # -- durability contract (docs/FAULTS.md) ---------------------------------
+
+    def durable_state(self, node: NodeId, state: PaxosNodeState) -> TupleMap:
+        """Acceptor slots survive a crash; everything else is volatile.
+
+        Paxos safety rests on acceptors never forgetting their promises and
+        accepted proposals — real implementations fsync the acceptor ledger
+        before answering (Lamport's "each acceptor remembers ... in stable
+        storage").  Proposer slots, learner tallies, the driver queue and the
+        init flag are volatile: losing them can stall a proposal but never
+        un-choose a value.
+        """
+        return state.acceptors
+
+    def restart_state(self, node: NodeId, durable: TupleMap) -> PaxosNodeState:
+        """Boot from the initial state with the acceptor ledger recovered.
+
+        The restarted node re-runs initialization and re-issues any scripted
+        proposals (the driver queue is part of the initial state), exactly
+        like a process coming back up with only its disk.
+        """
+        return replace(self.initial_state(node), acceptors=durable or ())
 
     def enabled_actions(self, state: PaxosNodeState) -> Tuple[Action, ...]:
         if not state.initialized:

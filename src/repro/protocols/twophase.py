@@ -87,6 +87,22 @@ class TwoPhaseCommit(Protocol):
             return (Action(node=state.node, name="begin"),)
         return ()
 
+    # -- durability contract (docs/FAULTS.md) ---------------------------------
+
+    def durable_state(self, node: NodeId, state: TwoPhaseNodeState) -> Optional[bool]:
+        """The decision record is forced to the log; everything else is volatile.
+
+        Classic 2PC writes the commit/abort record before announcing it —
+        the TM's decision (and a participant's learned outcome) survives a
+        crash.  Votes need no log here because voting is deterministic: a
+        restarted participant re-votes identically when re-asked.
+        """
+        return state.decided
+
+    def restart_state(self, node: NodeId, durable: Optional[bool]) -> TwoPhaseNodeState:
+        """Boot from the initial state with the decision record recovered."""
+        return replace(self.initial_state(node), decided=durable)
+
     def handle_action(self, state: TwoPhaseNodeState, action: Action) -> HandlerResult:
         if action.name != "begin" or state.started:
             return HandlerResult(state)

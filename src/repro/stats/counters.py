@@ -56,6 +56,10 @@ class ExplorationStats:
     #: Rejected-combination cache entries dropped by the LRU bound
     #: (``LMCConfig.rejected_cache_limit``).
     rejected_cache_evictions: int = 0
+    #: Crash events executed by the fault scheduler (docs/FAULTS.md).
+    fault_crashes: int = 0
+    #: Restart events executed by the fault scheduler.
+    fault_restarts: int = 0
     #: Wall-clock seconds attributed to each checker phase; keys are phase
     #: names such as "explore", "system_states", "soundness" (Fig. 13).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -83,6 +87,8 @@ class ExplorationStats:
             "sequence_cache_hits": self.sequence_cache_hits,
             "replay_cache_hits": self.replay_cache_hits,
             "rejected_cache_evictions": self.rejected_cache_evictions,
+            "fault_crashes": self.fault_crashes,
+            "fault_restarts": self.fault_restarts,
             **{f"phase_{name}_s": secs for name, secs in self.phase_seconds.items()},
         }
 
@@ -104,5 +110,7 @@ class ExplorationStats:
         self.sequence_cache_hits += other.sequence_cache_hits
         self.replay_cache_hits += other.replay_cache_hits
         self.rejected_cache_evictions += other.rejected_cache_evictions
+        self.fault_crashes += other.fault_crashes
+        self.fault_restarts += other.fault_restarts
         for phase, seconds in other.phase_seconds.items():
             self.add_phase_time(phase, seconds)

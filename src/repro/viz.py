@@ -106,8 +106,11 @@ def witness_sequence_diagram(bug: BugReport) -> str:
             name = f"e{index}"
             if isinstance(event, InternalEvent):
                 label = f"{index}. {event.action.name}"
-            else:
+            elif isinstance(event, DeliveryEvent):
                 label = f"{index}. recv {type(event.message.payload).__name__}"
+            else:
+                # Fault events (docs/FAULTS.md): crash/restart markers.
+                label = f"{index}. {event.describe()}"
             lines.append(f'    {name} [label="{_escape(label)}"];')
             if previous is not None:
                 lines.append(f"    {previous} -> {name} [style=dotted];")

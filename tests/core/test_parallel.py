@@ -1,12 +1,17 @@
 """Tests for the parallel local model checker."""
 
+import os
+import signal
+
 import pytest
 
+import repro.core.parallel as parallel
 from repro.core.checker import LocalModelChecker
 from repro.core.config import LMCConfig
 from repro.core.parallel import (
     ParallelLocalModelChecker,
     _replay_plain,
+    shutdown_verification_pool,
     verify_unit,
 )
 from repro.explore.budget import SearchBudget
@@ -102,3 +107,56 @@ class TestParallelChecker:
         )
         assert checker.algorithm == "LMC-parallel"
         assert checker.run().algorithm == "LMC-parallel"
+
+
+class _RaisingExecutor:
+    """Stand-in for a pool whose teardown itself fails (dying workers)."""
+
+    def __init__(self):
+        self.calls = []
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.calls.append({"wait": wait, "cancel_futures": cancel_futures})
+        raise RuntimeError("teardown raced a dying worker")
+
+
+class TestPoolRecovery:
+    def teardown_method(self):
+        shutdown_verification_pool()
+
+    def test_broken_shutdown_swallows_teardown_errors(self, monkeypatch):
+        """The BrokenProcessPool path must never raise out of teardown."""
+        shutdown_verification_pool()
+        stub = _RaisingExecutor()
+        monkeypatch.setattr(parallel, "_EXECUTOR", stub)
+        monkeypatch.setattr(parallel, "_EXECUTOR_WORKERS", 2)
+        shutdown_verification_pool(broken=True)
+        assert parallel._EXECUTOR is None
+        assert parallel._EXECUTOR_WORKERS == 0
+        # and it must not wait on dead workers or keep queued units alive
+        assert stub.calls == [{"wait": False, "cancel_futures": True}]
+
+    def test_clean_shutdown_still_waits(self, monkeypatch):
+        shutdown_verification_pool()
+        stub = _RaisingExecutor()
+        monkeypatch.setattr(parallel, "_EXECUTOR", stub)
+        monkeypatch.setattr(parallel, "_EXECUTOR_WORKERS", 2)
+        with pytest.raises(RuntimeError):
+            shutdown_verification_pool()
+        assert stub.calls == [{"wait": True, "cancel_futures": False}]
+        monkeypatch.setattr(parallel, "_EXECUTOR", None)
+        monkeypatch.setattr(parallel, "_EXECUTOR_WORKERS", 0)
+
+    def test_killed_worker_is_retried_to_completion(self):
+        """SIGKILL a pool worker; the next run must rebuild and still confirm."""
+        shutdown_verification_pool()
+        executor = parallel._shared_executor(2)
+        victim = executor.submit(os.getpid).result()
+        os.kill(victim, signal.SIGKILL)
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        result = ParallelLocalModelChecker(
+            protocol, CommitValidity(), workers=2
+        ).run()
+        assert result.found_bug
+        replayed = validate_bug(protocol, result.first_bug(), CommitValidity())
+        assert replayed.complete and replayed.violates

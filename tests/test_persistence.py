@@ -8,7 +8,7 @@ import repro.protocols.paxos.messages as paxos_messages
 import repro.protocols.paxos.state as paxos_state
 from repro.core.checker import LocalModelChecker
 from repro.core.config import LMCConfig
-from repro.model.events import DeliveryEvent, InternalEvent
+from repro.model.events import CrashEvent, DeliveryEvent, InternalEvent, RestartEvent
 from repro.model.system_state import SystemState
 from repro.model.types import Action, Message
 from repro.persistence import (
@@ -117,6 +117,53 @@ class TestBugRoundTrip:
         action = InternalEvent(Action(node=2, name="propose", payload=(0, "v")))
         assert decode_event(encode_event(deliver), registry) == deliver
         assert decode_event(encode_event(action), registry) == action
+
+    def test_fault_events_round_trip(self):
+        registry = ClassRegistry()
+        from repro.persistence import decode_event, encode_event
+
+        crash = CrashEvent(1)
+        restart = RestartEvent(1)
+        assert decode_event(encode_event(crash), registry) == crash
+        assert decode_event(encode_event(restart), registry) == restart
+        json.dumps([encode_event(crash), encode_event(restart)])
+
+
+class TestAtomicSave:
+    def _corpus(self):
+        protocol = scenario_protocol(buggy=True)
+        result = LocalModelChecker(
+            protocol, PaxosAgreement(0), config=LMCConfig.optimized()
+        ).run(partial_choice_state())
+        return [result.first_bug()]
+
+    def test_failed_dump_preserves_existing_corpus(self, tmp_path, monkeypatch):
+        """A crash mid-dump must leave the previous corpus fully readable."""
+        bugs = self._corpus()
+        path = tmp_path / "corpus.json"
+        save_bugs(str(path), bugs)
+        before = path.read_text()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("disk full mid-dump")
+
+        monkeypatch.setattr("repro.persistence.json.dump", boom)
+        with pytest.raises(RuntimeError):
+            save_bugs(str(path), bugs)
+        monkeypatch.undo()
+
+        assert path.read_text() == before
+        (restored,) = load_bugs(str(path), paxos_registry())
+        assert restored.description == bugs[0].description
+        # the failed attempt's temp file must not linger
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == ["corpus.json"]
+
+    def test_save_replaces_rather_than_truncates(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_bugs(str(path), self._corpus())
+        save_bugs(str(path), [])
+        assert load_bugs(str(path), paxos_registry()) == []
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == ["corpus.json"]
 
 
 class TestRegistry:

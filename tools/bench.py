@@ -85,6 +85,21 @@ def _build_checker(workload: str, config_overrides: Dict[str, Any]):
             )
         return LocalModelChecker(protocol, invariant, budget, config), None
 
+    if workload == "paxos_faults":
+        # Crash–restart scheduling on (docs/FAULTS.md): the single-proposal
+        # space with one crash per node.  Count-equality gated like every
+        # workload; wall-clock never gated.
+        from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
+
+        protocol = PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),))
+        config = LMCConfig.optimized(fault_events_enabled=True, **config_overrides)
+        return (
+            LocalModelChecker(
+                protocol, PaxosAgreement(0), SearchBudget.unbounded(), config
+            ),
+            None,
+        )
+
     if workload == "s55_snapshot":
         from repro.protocols.paxos import PaxosAgreement
         from repro.protocols.paxos.scenarios import (
@@ -147,6 +162,11 @@ def _run_child(workload: str, mode: str) -> None:
     report = {
         "wall_s": wall_s,
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "config": {
+            "fault_events_enabled": checker.config.fault_events_enabled,
+            "max_crashes_per_node": checker.config.max_crashes_per_node,
+            "max_total_crashes": checker.config.max_total_crashes,
+        },
         "counts": counts,
         "completed": result.completed,
         "bugs": [bug.description for bug in result.bugs],
@@ -230,6 +250,7 @@ def run_suite(workloads: List[str], repeat: int) -> Dict[str, Any]:
             else None
         )
         results[workload] = {
+            "config": cached["config"],
             "counts": cached["counts"],
             "completed": cached["completed"],
             "bugs": cached["bugs"],
@@ -301,7 +322,7 @@ def main() -> None:
         return
 
     if args.quick:
-        workloads = ["paxos_opt", "fig10_d6", "s55_snapshot"]
+        workloads = ["paxos_opt", "fig10_d6", "s55_snapshot", "paxos_faults"]
         repeat = max(1, min(args.repeat, 2))
     else:
         workloads = [
@@ -310,6 +331,7 @@ def main() -> None:
             *[f"fig10_d{d}" for d in FIG10_DEPTHS],
             "s55_snapshot",
             "s56_onepaxos",
+            "paxos_faults",
         ]
         repeat = args.repeat
 
