@@ -159,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--max-depth", type=int, default=None)
         command.add_argument("--workers", type=int, default=0)
         command.add_argument(
+            "--explore-workers",
+            type=int,
+            default=0,
+            metavar="N",
+            help="shard each exploration round's frontier across N pool "
+            "workers (LMC algorithms only; 0 explores serially, -1 uses "
+            "all CPUs; results are identical either way — see "
+            "docs/PERFORMANCE.md)",
+        )
+        command.add_argument(
             "--faults",
             action="store_true",
             help="explore crash/restart fault schedules (LMC algorithms "
@@ -242,6 +252,13 @@ def run_check(
             fault_events_enabled=True,
             max_crashes_per_node=args.max_crashes_per_node,
             max_total_crashes=args.max_total_crashes,
+        )
+    explore_workers = getattr(args, "explore_workers", 0)
+    if explore_workers:
+        # -1 (or any negative) = all CPUs, matching --workers' "0 or None"
+        # idiom while keeping this flag's 0 meaning "serial".
+        fault_overrides["explore_workers"] = (
+            None if explore_workers < 0 else explore_workers
         )
     if args.algorithm == "bdfs":
         # The fault scheduler is an LMC feature (docs/FAULTS.md); B-DFS

@@ -37,6 +37,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import LMCConfig
+from repro.core.explore_parallel import RoundSpeculator, SpecExec
 from repro.core.records import (
     LINK_BYTES,
     LocalStateSpace,
@@ -278,6 +279,11 @@ class _ExplorationPass:
             if use_pairwise_opt and self.config.incremental_enumeration
             else None
         )
+        #: Parallel frontier exploration (docs/PERFORMANCE.md): per-round
+        #: speculative precomputation of handler results and content hashes
+        #: across the shared worker pool.  ``None`` (``explore_workers=0``)
+        #: keeps the sweep fully in-process.
+        self._speculator: Optional[RoundSpeculator] = RoundSpeculator.for_pass(self)
 
     # -- top level -------------------------------------------------------------
 
@@ -366,6 +372,14 @@ class _ExplorationPass:
     def _round(self) -> int:
         """One sweep of network and local events; returns executions done."""
         executions = 0
+        # Parallel frontier exploration: snapshot the round-start frontier
+        # and precompute its handler results + content hashes across the
+        # worker pool.  The sweeps below are unchanged — they consume a
+        # precomputed outcome on a table hit and compute inline on a miss,
+        # so order, counters and results are byte-identical to serial.
+        speculator = self._speculator
+        if speculator is not None:
+            speculator.begin_round()
         # Network events: each stored message runs on the destination states
         # it has not been executed on yet ("by jumping over the old states").
         for node in self.space.node_ids:
@@ -402,8 +416,20 @@ class _ExplorationPass:
                 ):
                     self.blocked_by_bound = True
                     continue
-                for action in self.protocol.enabled_actions(record.state):
-                    executions += self._execute_internal(record, action)
+                hit = (
+                    speculator.internal_actions(record)
+                    if speculator is not None
+                    else None
+                )
+                if hit is not None:
+                    actions, outcomes = hit
+                    for action, outcome in zip(actions, outcomes):
+                        executions += self._execute_internal(
+                            record, action, spec=outcome
+                        )
+                else:
+                    for action in self.protocol.enabled_actions(record.state):
+                        executions += self._execute_internal(record, action)
         # Fault events (docs/FAULTS.md): crash each eligible node state once,
         # restart each crashed marker record once.  Entirely absent — not
         # merely inert — when disabled, so the default run is byte-identical
@@ -472,6 +498,32 @@ class _ExplorationPass:
             self.stats.history_skips += 1
             return 0
         self._tick_budget()
+        spec = (
+            self._speculator.delivery(record, stored)
+            if self._speculator is not None
+            else None
+        )
+        if spec is not None:
+            if spec == "a":
+                self._handle_assertion_failure(record)
+                return 1
+            if spec == "n":
+                self.stats.noop_executions += 1
+                return 1
+            self.stats.transitions += 1
+            memo = self._delivery_hash_memo
+            if memo is not None and stored.hash not in memo:
+                memo[stored.hash] = spec.ehash
+            self._integrate(
+                record,
+                DeliveryEvent(stored.message),
+                stored.hash,
+                spec.result,
+                is_internal=False,
+                event_hash_value=spec.ehash,
+                precomputed=spec,
+            )
+            return 1
         try:
             result = self.protocol.handle_message(record.state, stored.message)
         except LocalAssertionError:
@@ -496,13 +548,38 @@ class _ExplorationPass:
         )
         return 1
 
-    def _execute_internal(self, record: NodeStateRecord, action: Action) -> int:
+    def _execute_internal(
+        self,
+        record: NodeStateRecord,
+        action: Action,
+        spec: Optional[object] = None,
+    ) -> int:
         """Execute one enabled internal action (Fig. 9 line 7, handler ``H_A``).
 
         Local events are unchanged by the Fig. 8 transformation — they touch
-        no network.  Returns handler executions done (always 1).
+        no network.  ``spec`` is this action's precomputed outcome when the
+        round's parallel frontier pass covered it.  Returns handler
+        executions done (always 1).
         """
         self._tick_budget()
+        if spec is not None:
+            if spec == "a":
+                self._handle_assertion_failure(record)
+                return 1
+            if spec == "n":
+                self.stats.noop_executions += 1
+                return 1
+            self.stats.transitions += 1
+            self._integrate(
+                record,
+                InternalEvent(action),
+                None,
+                spec.result,
+                is_internal=True,
+                event_hash_value=spec.ehash,
+                precomputed=spec,
+            )
+            return 1
         try:
             result = self.protocol.handle_action(record.state, action)
         except LocalAssertionError:
@@ -525,8 +602,16 @@ class _ExplorationPass:
         by construction.  Returns handler executions done (always 1).
         """
         self._tick_budget()
-        durable = durable_projection(self.protocol, record.node, record.state)
-        result = HandlerResult(CrashedState(node=record.node, durable=durable))
+        spec = (
+            self._speculator.crash(record) if self._speculator is not None else None
+        )
+        if spec is not None:
+            result = spec.result
+            ehash: Optional[int] = spec.ehash
+        else:
+            durable = durable_projection(self.protocol, record.node, record.state)
+            result = HandlerResult(CrashedState(node=record.node, durable=durable))
+            ehash = None
         self.stats.transitions += 1
         self.stats.fault_crashes += 1
         self._crashes_executed += 1
@@ -540,7 +625,9 @@ class _ExplorationPass:
             None,
             result,
             is_internal=False,
+            event_hash_value=ehash,
             fault="crash",
+            precomputed=spec,
         )
         return 1
 
@@ -553,8 +640,16 @@ class _ExplorationPass:
         process).  Returns handler executions done (always 1).
         """
         self._tick_budget()
-        recovered = restart_state(self.protocol, record.node, record.state.durable)
-        result = HandlerResult(recovered)
+        spec = (
+            self._speculator.restart(record) if self._speculator is not None else None
+        )
+        if spec is not None:
+            result = spec.result
+            ehash: Optional[int] = spec.ehash
+        else:
+            recovered = restart_state(self.protocol, record.node, record.state.durable)
+            result = HandlerResult(recovered)
+            ehash = None
         self.stats.transitions += 1
         self.stats.fault_restarts += 1
         if self.emitter.enabled:
@@ -567,7 +662,9 @@ class _ExplorationPass:
             None,
             result,
             is_internal=False,
+            event_hash_value=ehash,
             fault="restart",
+            precomputed=spec,
         )
         return 1
 
@@ -595,6 +692,7 @@ class _ExplorationPass:
         is_internal: bool,
         event_hash_value: Optional[int] = None,
         fault: Optional[str] = None,
+        precomputed: Optional[SpecExec] = None,
     ) -> None:
         """Fold a handler result into ``LS``/``I+`` (Fig. 9 lines 8-9).
 
@@ -611,10 +709,24 @@ class _ExplorationPass:
         from enumeration, never anchor-checked); a restart starts the
         recovered state with an empty history so pre-crash messages can be
         redelivered to it.
+
+        ``precomputed`` carries a parallel-exploration worker's hashes for
+        this execution (successor hash/size, per-send hash/size): the merge
+        then skips every re-encoding but makes exactly the same decisions —
+        send admission, successor dedup and predecessor linking are driven
+        by the same hash values a serial run would compute.
         """
-        generated = message_hashes(result.sends)
-        self.network.add_all(result.sends)
-        new_hash = content_hash(result.state)
+        if precomputed is not None:
+            generated = precomputed.generated
+            for message, info in zip(result.sends, precomputed.send_info):
+                self.network.add_hashed(message, info[0], info[1])
+            new_hash = precomputed.new_hash
+            new_size: Optional[int] = precomputed.new_size
+        else:
+            generated = message_hashes(result.sends)
+            self.network.add_all(result.sends)
+            new_hash = content_hash(result.state)
+            new_size = None
         link = PredecessorLink(
             prev_hash=record.hash,
             event=event,
@@ -632,6 +744,10 @@ class _ExplorationPass:
             return
         existing = store.lookup(new_hash)
         if existing is not None:
+            if precomputed is not None:
+                # A speculatively-executed successor the deterministic merge
+                # found already in LS_n — exactly the dedup serial would do.
+                self.stats.explore_merge_conflicts_suppressed += 1
             if existing.add_predecessor(link):
                 self._retained_bytes += LINK_BYTES
                 # The predecessor DAG changed: invalidate the soundness
@@ -655,6 +771,7 @@ class _ExplorationPass:
             history=history,
             crashes=record.crashes + (1 if fault == "crash" else 0),
             crashed=fault == "crash",
+            state_size=new_size,
         )
         new_record.add_predecessor(link)
         self._retained_bytes += new_record.retained_bytes()

@@ -1,0 +1,582 @@
+"""Parallel frontier exploration: shard the LMC round loop across the pool.
+
+The paper's monotonic-network framing makes per-node expansion independent:
+given a snapshot of ``I+``, executing a pending delivery, internal action or
+fault step on one node state touches nothing another node's execution reads
+— messages only accumulate and the ``LS_n`` sets only grow.  This module
+exploits that independence **speculatively**:
+
+1. At the top of each round, the coordinator snapshots the round's frontier
+   — every ``(record, stored message)`` delivery pair the per-message
+   cursors will sweep, every record the local-event cursor will offer its
+   internal actions, and (with faults on) every crash/restart candidate —
+   and shards it across the persistent worker pool
+   (:func:`repro.core.pool.shared_executor`, shared with soundness
+   verification).
+2. Workers run the expensive node-local half of the execute loop — handler
+   execution plus content hashing of successor states and sends (the
+   dominant cost of the explore phase) — against a per-run **replica** of
+   the protocol and message store, kept current by monotone ``I+`` deltas
+   (:meth:`~repro.network.monotonic.MonotonicNetwork.messages_since`).
+3. The coordinator then replays the *exact serial sweep*, consuming a
+   worker's precomputed result wherever the table has one and executing
+   inline on a miss (intra-round cascades: messages and records minted
+   mid-round are invisible to the round-start snapshot).
+
+Because the merge **is** the serial order, every counter, verdict, witness
+trace and dedup decision is byte-identical to the serial checker by
+construction — speculation only moves pure-function work (handlers are
+functions of immutable values; content hashing is deterministic across
+processes) onto other cores.  Worker results that the replay re-discovers
+through a different path are simply dropped; cross-shard rediscoveries the
+merge folds into predecessor pointers are surfaced as
+``explore_merge_conflicts_suppressed``.
+
+Failure containment: a :class:`BrokenProcessPool` rebuilds the pool and
+retries the round once; a second failure disables speculation for the rest
+of the pass and the checker continues serially with identical results.  A
+worker that has not seen earlier deltas (fresh pool, or a pool peer that
+was idle in prior rounds) answers with a sync-miss carrying its high-water
+mark; the coordinator re-dispatches that shard with the full message log.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import time
+from collections import OrderedDict
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.pool import shared_executor, shutdown_worker_pool
+from repro.model.events import (
+    CrashEvent,
+    DeliveryEvent,
+    InternalEvent,
+    RestartEvent,
+    event_hash,
+)
+from repro.model.hashing import content_hash_and_size
+from repro.model.types import (
+    Action,
+    CrashedState,
+    HandlerResult,
+    LocalAssertionError,
+)
+from repro.protocols.common import durable_projection, restart_state
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (checker imports us)
+    from repro.core.checker import _ExplorationPass
+    from repro.core.records import NodeStateRecord
+    from repro.network.monotonic import StoredMessage
+
+#: Speculative outcome tags for executions that produce no successor state:
+#: the handler raised a local assertion, or was a no-op.
+ASSERT = "a"
+NOOP = "n"
+
+
+class SpecExec:
+    """A precomputed handler execution: successor, sends, and their hashes.
+
+    Everything ``_integrate`` would otherwise compute on the hot path — the
+    successor's content hash and canonical size, the event hash, and each
+    send's ``(hash, size)`` — shipped back from the worker so the
+    coordinator's replay only does the bookkeeping.
+    """
+
+    __slots__ = ("result", "new_hash", "new_size", "ehash", "generated", "send_info")
+
+    def __init__(
+        self,
+        result: HandlerResult,
+        new_hash: int,
+        new_size: int,
+        ehash: int,
+        generated: Tuple[int, ...],
+        send_info: Tuple[Tuple[int, int], ...],
+    ):
+        self.result = result
+        self.new_hash = new_hash
+        self.new_size = new_size
+        self.ehash = ehash
+        #: Send hashes in emission order (the link's ``generated_hashes``).
+        self.generated = generated
+        #: ``(hash, size)`` per send, for no-re-encode network admission.
+        self.send_info = send_info
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+class _Replica:
+    """One run's worker-local view: the protocol and the message store."""
+
+    __slots__ = ("protocol", "messages", "high")
+
+    def __init__(self, protocol: Any):
+        self.protocol = protocol
+        #: seq -> message, grown monotonically by shipped deltas.
+        self.messages: Dict[int, Any] = {}
+        #: Messages below this seq are all present (the synced prefix).
+        self.high = 0
+
+
+#: Per-run replicas, keyed by run token; a small LRU — workers persist
+#: across checker runs, so stale runs' replicas must not accumulate.
+_REPLICAS: "OrderedDict[str, _Replica]" = OrderedDict()
+_REPLICA_CAP = 4
+
+_TOKENS = itertools.count()
+
+
+def _replica_for(token: str, protocol_blob: bytes) -> _Replica:
+    replica = _REPLICAS.get(token)
+    if replica is None:
+        replica = _Replica(pickle.loads(protocol_blob))
+        _REPLICAS[token] = replica
+        while len(_REPLICAS) > _REPLICA_CAP:
+            _REPLICAS.popitem(last=False)
+    else:
+        _REPLICAS.move_to_end(token)
+    return replica
+
+
+def explore_shard_task(
+    token: str,
+    protocol_blob: bytes,
+    base_seq: int,
+    high_seq: int,
+    delta_blob: bytes,
+    states: List[Any],
+    items: List[Tuple],
+) -> Tuple:
+    """Worker entry point: precompute one frontier shard's executions.
+
+    ``items`` reference ``states`` (a per-shard dedup table of node states)
+    by index and messages by their ``I+`` sequence number; the delta in
+    ``delta_blob`` covers ``[base_seq, high_seq)``.  Returns
+    ``("sync", high)`` when this worker's replica has not seen ``base_seq``
+    yet (the coordinator re-dispatches with the full log), else
+    ``("ok", outcomes, state_table, message_table, wall_s, pid)`` with one
+    outcome per item — ``("a",)``, ``("n",)``, an executed
+    ``("x", state_idx, hash, size, event_hash, sends)`` or, for internal
+    items, ``("i", actions, per_action_outcomes)``.
+    """
+    started = time.perf_counter()
+    replica = _replica_for(token, protocol_blob)
+    if replica.high < base_seq:
+        return ("sync", replica.high)
+    for seq, message in pickle.loads(delta_blob):
+        replica.messages[seq] = message
+    if high_seq > replica.high:
+        replica.high = high_seq
+    protocol = replica.protocol
+
+    out_states: List[Any] = []
+    state_pos: Dict[int, int] = {}
+    out_msgs: List[Any] = []
+    msg_pos: Dict[int, int] = {}
+
+    def encode_exec(result: HandlerResult, ehash: int) -> Tuple:
+        new_hash, new_size = content_hash_and_size(result.state)
+        pos = state_pos.get(new_hash)
+        if pos is None:
+            pos = len(out_states)
+            state_pos[new_hash] = pos
+            out_states.append(result.state)
+        sends = []
+        for message in result.sends:
+            msg_hash, msg_size = content_hash_and_size(message)
+            mpos = msg_pos.get(msg_hash)
+            if mpos is None:
+                mpos = len(out_msgs)
+                msg_pos[msg_hash] = mpos
+                out_msgs.append(message)
+            sends.append((mpos, msg_hash, msg_size))
+        return ("x", pos, new_hash, new_size, ehash, tuple(sends))
+
+    outcomes: List[Optional[Tuple]] = []
+    for item in items:
+        kind = item[0]
+        state = states[item[1]]
+        if kind == "d":
+            message = replica.messages.get(item[2])
+            if message is None:
+                # Only reachable through a protocol bug in the sync
+                # handshake; a None outcome is just a table miss upstream.
+                outcomes.append(None)
+                continue
+            try:
+                result = protocol.handle_message(state, message)
+            except LocalAssertionError:
+                outcomes.append((ASSERT,))
+                continue
+            if result.is_noop(state):
+                outcomes.append((NOOP,))
+                continue
+            outcomes.append(encode_exec(result, event_hash(DeliveryEvent(message))))
+        elif kind == "i":
+            actions: Tuple[Action, ...] = tuple(protocol.enabled_actions(state))
+            inner: List[Tuple] = []
+            for action in actions:
+                try:
+                    result = protocol.handle_action(state, action)
+                except LocalAssertionError:
+                    inner.append((ASSERT,))
+                    continue
+                if result.is_noop(state):
+                    inner.append((NOOP,))
+                    continue
+                inner.append(encode_exec(result, event_hash(InternalEvent(action))))
+            outcomes.append(("i", actions, tuple(inner)))
+        elif kind == "c":
+            node = item[2]
+            durable = durable_projection(protocol, node, state)
+            result = HandlerResult(CrashedState(node=node, durable=durable))
+            outcomes.append(encode_exec(result, event_hash(CrashEvent(node))))
+        else:  # "r"
+            node = item[2]
+            result = HandlerResult(restart_state(protocol, node, state.durable))
+            outcomes.append(encode_exec(result, event_hash(RestartEvent(node))))
+    return (
+        "ok",
+        outcomes,
+        out_states,
+        out_msgs,
+        time.perf_counter() - started,
+        os.getpid(),
+    )
+
+
+# -- coordinator side ----------------------------------------------------------
+
+
+def _decode_exec(enc: Tuple, states: List[Any], msgs: List[Any]) -> SpecExec:
+    sends_enc = enc[5]
+    return SpecExec(
+        result=HandlerResult(
+            states[enc[1]], tuple(msgs[pos] for pos, _h, _s in sends_enc)
+        ),
+        new_hash=enc[2],
+        new_size=enc[3],
+        ehash=enc[4],
+        generated=tuple(h for _pos, h, _s in sends_enc),
+        send_info=tuple((h, s) for _pos, h, s in sends_enc),
+    )
+
+
+def _decode(enc: Tuple, states: List[Any], msgs: List[Any]):
+    tag = enc[0]
+    if tag == ASSERT or tag == NOOP:
+        return tag
+    if tag == "x":
+        return _decode_exec(enc, states, msgs)
+    # "i": per-action outcomes, each assert/noop/executed.
+    return (
+        "i",
+        enc[1],
+        tuple(
+            o[0] if o[0] in (ASSERT, NOOP) else _decode_exec(o, states, msgs)
+            for o in enc[2]
+        ),
+    )
+
+
+class RoundSpeculator:
+    """Per-pass coordinator: snapshot, dispatch, and serve the round table.
+
+    Owned by one :class:`~repro.core.checker._ExplorationPass`; the pass
+    calls :meth:`begin_round` at the top of every round and then consults
+    :meth:`delivery` / :meth:`internal_actions` / :meth:`crash` /
+    :meth:`restart` from inside the (otherwise unchanged) serial sweep.  A
+    ``None`` answer means "compute inline, exactly as before".
+    """
+
+    def __init__(self, pass_: "_ExplorationPass", workers: int):
+        self._pass = pass_
+        self.workers = workers
+        #: Cleared after an unrecoverable pool failure: the rest of the pass
+        #: runs serially (results unchanged — only speed).
+        self.enabled = True
+        self._table: Optional[Dict[Tuple, Any]] = None
+        self._proto_blob: Optional[bytes] = None
+        #: High-water ``I+`` seq already shipped to the pool.
+        self._shipped = 0
+        self._round_no = 0
+        self._token = f"{os.getpid()}:{next(_TOKENS)}"
+
+    @classmethod
+    def for_pass(cls, pass_: "_ExplorationPass") -> Optional["RoundSpeculator"]:
+        """A speculator when the config enables one, else ``None``."""
+        workers = pass_.config.explore_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 0:
+            return None
+        return cls(pass_, workers)
+
+    # -- round lifecycle ---------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Snapshot this round's frontier and precompute it across the pool.
+
+        Small rounds (below ``explore_round_threshold`` items) skip the pool
+        entirely; dispatch failures fall back to serial execution — in every
+        case the subsequent sweep produces byte-identical results.
+        """
+        p = self._pass
+        self._table = None
+        if not self.enabled:
+            return
+        if self._proto_blob is None:
+            try:
+                self._proto_blob = pickle.dumps(p.protocol)
+            except (pickle.PicklingError, TypeError, AttributeError):
+                self.enabled = False
+                return
+        items = self._snapshot()
+        if len(items) < p.config.explore_round_threshold:
+            return
+        shard_size = max(p.config.explore_shard_min, -(-len(items) // self.workers))
+        shards = [
+            items[start : start + shard_size]
+            for start in range(0, len(items), shard_size)
+        ]
+        encoded = [self._encode_shard(shard) for shard in shards]
+        base = self._shipped
+        high = p.network.high_water
+        delta_blob = pickle.dumps(
+            tuple((s.seq, s.message) for s in p.network.messages_since(base))
+        )
+        started = time.perf_counter()
+        results: Optional[List[Optional[Tuple]]] = None
+        misses = 0
+        for attempt in (0, 1):
+            try:
+                results, misses = self._dispatch(encoded, base, high, delta_blob)
+                break
+            except BrokenProcessPool:
+                shutdown_worker_pool(broken=True)
+                if attempt:
+                    self.enabled = False
+                    return
+            except pickle.PicklingError:
+                # Unshippable model values (exotic protocol state): stay
+                # serial for the rest of the pass.
+                self.enabled = False
+                return
+        assert results is not None
+        self._shipped = high
+        self._round_no += 1
+        table: Dict[Tuple, Any] = {}
+        for shard, report in zip(shards, results):
+            if report is None or report[0] != "ok":
+                continue
+            _, outcomes, rstates, rmsgs, _wall, _pid = report
+            for item, enc in zip(shard, outcomes):
+                if enc is not None:
+                    table[self._key(item)] = _decode(enc, rstates, rmsgs)
+        self._table = table
+        p.stats.explore_rounds_parallel += 1
+        p.stats.explore_shards += len(shards)
+        if p.emitter.enabled:
+            p.emitter.event(
+                "parallel_round",
+                number=self._round_no,
+                items=len(items),
+                shards=len(shards),
+                workers=self.workers,
+                sync_misses=misses,
+                dispatch_s=round(time.perf_counter() - started, 6),
+            )
+            for index, report in enumerate(results):
+                if report is not None and report[0] == "ok":
+                    p.emitter.emit_span(
+                        "worker_explore",
+                        report[4],
+                        fields={"shard": index, "items": len(shards[index])},
+                        pid=report[5],
+                    )
+
+    def _dispatch(
+        self,
+        encoded: List[Tuple[List[Any], List[Tuple]]],
+        base: int,
+        high: int,
+        delta_blob: bytes,
+    ) -> Tuple[List[Optional[Tuple]], int]:
+        """Submit every shard; resolve sync-misses with a full-log resend."""
+        p = self._pass
+        executor = shared_executor(self.workers)
+        futures = [
+            executor.submit(
+                explore_shard_task,
+                self._token,
+                self._proto_blob,
+                base,
+                high,
+                delta_blob,
+                states,
+                items,
+            )
+            for states, items in encoded
+        ]
+        results: List[Optional[Tuple]] = [future.result() for future in futures]
+        misses = 0
+        full_blob: Optional[bytes] = None
+        for index, report in enumerate(results):
+            if report is None or report[0] != "sync":
+                continue
+            misses += 1
+            if full_blob is None:
+                full_blob = pickle.dumps(
+                    tuple((s.seq, s.message) for s in p.network.messages_since(0))
+                )
+            states, items = encoded[index]
+            retried = executor.submit(
+                explore_shard_task,
+                self._token,
+                self._proto_blob,
+                0,
+                high,
+                full_blob,
+                states,
+                items,
+            ).result()
+            results[index] = retried if retried[0] == "ok" else None
+        return results, misses
+
+    # -- frontier snapshot -------------------------------------------------
+
+    def _snapshot(self) -> List[Tuple]:
+        """The round-start frontier, mirroring the serial sweep's gates.
+
+        Prefilters apply only the gates that cannot flip mid-round
+        (``discarded`` is one-way, ``crashed``/``depth``/``history`` are
+        frozen at discovery) — the replay re-evaluates every gate in serial
+        order anyway, so over- or under-shipping here affects only how much
+        speculative work the pool gets, never the results.  Cursors are
+        *not* advanced; the serial sweep owns them.
+        """
+        p = self._pass
+        items: List[Tuple] = []
+        max_depth = p.budget.max_depth
+        for node in p.space.node_ids:
+            records = p.space.store(node).records
+            for stored in p.network.for_destination(node):
+                for index in range(stored.cursor, len(records)):
+                    record = records[index]
+                    if record.discarded or record.crashed:
+                        continue
+                    if max_depth is not None and record.depth >= max_depth:
+                        continue
+                    if stored.hash in record.history:
+                        continue
+                    items.append(("d", record, stored))
+        bound = p.local_event_bound
+        for node in p.space.node_ids:
+            records = p.space.store(node).records
+            for index in range(p._local_cursor[node], len(records)):
+                record = records[index]
+                if record.discarded or record.crashed:
+                    continue
+                if max_depth is not None and record.depth >= max_depth:
+                    continue
+                if bound is not None and record.local_depth >= bound:
+                    continue
+                items.append(("i", record))
+        if p.config.fault_events_enabled:
+            limit = p.config.max_total_crashes
+            crashes_left = limit is None or p._crashes_executed < limit
+            for node in p.space.node_ids:
+                records = p.space.store(node).records
+                for index in range(p._fault_cursor[node], len(records)):
+                    record = records[index]
+                    if record.discarded:
+                        continue
+                    if max_depth is not None and record.depth >= max_depth:
+                        continue
+                    if record.crashed:
+                        items.append(("r", record))
+                        continue
+                    if record.crashes >= p.config.max_crashes_per_node:
+                        continue
+                    if crashes_left:
+                        items.append(("c", record))
+        return items
+
+    @staticmethod
+    def _encode_shard(shard: List[Tuple]) -> Tuple[List[Any], List[Tuple]]:
+        """Ship each distinct record state once per shard, items by index."""
+        states: List[Any] = []
+        positions: Dict[Tuple[Any, int], int] = {}
+        items: List[Tuple] = []
+        for item in shard:
+            kind = item[0]
+            record = item[1]
+            key = (record.node, record.index)
+            sidx = positions.get(key)
+            if sidx is None:
+                sidx = len(states)
+                positions[key] = sidx
+                states.append(record.state)
+            if kind == "d":
+                items.append(("d", sidx, item[2].seq))
+            elif kind == "i":
+                items.append(("i", sidx))
+            else:
+                items.append((kind, sidx, record.node))
+        return states, items
+
+    @staticmethod
+    def _key(item: Tuple) -> Tuple:
+        kind = item[0]
+        record = item[1]
+        if kind == "d":
+            return ("d", record.node, record.index, item[2].seq)
+        return (kind, record.node, record.index)
+
+    # -- table consults (None == compute inline) ---------------------------
+
+    def delivery(
+        self, record: "NodeStateRecord", stored: "StoredMessage"
+    ) -> Optional[Any]:
+        """Precomputed outcome of delivering ``stored`` to ``record``."""
+        table = self._table
+        if table is None:
+            return None
+        return table.get(("d", record.node, record.index, stored.seq))
+
+    def internal_actions(
+        self, record: "NodeStateRecord"
+    ) -> Optional[Tuple[Tuple[Action, ...], Tuple[Any, ...]]]:
+        """Precomputed ``(actions, outcomes)`` for ``record``'s local sweep.
+
+        The action tuple is the worker's ``enabled_actions`` enumeration — a
+        pure function of the (shipped, equal) state, so it matches what the
+        coordinator would enumerate, in the same order.
+        """
+        table = self._table
+        if table is None:
+            return None
+        hit = table.get(("i", record.node, record.index))
+        if hit is None:
+            return None
+        return hit[1], hit[2]
+
+    def crash(self, record: "NodeStateRecord") -> Optional[SpecExec]:
+        """Precomputed crash projection of ``record``."""
+        table = self._table
+        if table is None:
+            return None
+        return table.get(("c", record.node, record.index))
+
+    def restart(self, record: "NodeStateRecord") -> Optional[SpecExec]:
+        """Precomputed restart boot of the crashed marker ``record``."""
+        table = self._table
+        if table is None:
+            return None
+        return table.get(("r", record.node, record.index))

@@ -19,25 +19,25 @@ worker's replay is the same integer-only bookkeeping the sequential
 verifier uses.  Workers return index paths into the shipped sequences; the
 parent resolves them back to real events to build the witness trace.
 
-Dispatch economics (docs/PERFORMANCE.md): workers live in a persistent
-process pool reused across generations (:func:`_shared_executor`), units are
-grouped into batches of about four per worker, and each batch's candidate
-sequences — heavily shared between units through overlapping predecessor
-chains — are deduplicated into one table shipped once per batch.
+Dispatch economics (docs/PERFORMANCE.md): workers live in the persistent
+process pool shared with parallel exploration
+(:func:`repro.core.pool.shared_executor`), units are grouped into batches of
+about four per worker, and each batch's candidate sequences — heavily shared
+between units through overlapping predecessor chains — are deduplicated into
+one table shipped once per batch.
 """
 
 from __future__ import annotations
 
-import atexit
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.checker import LocalModelChecker, _ExplorationPass
 from repro.core.config import LMCConfig
+from repro.core.pool import shared_executor, shutdown_worker_pool
 from repro.core.records import NodeStateRecord
 from repro.core.soundness import (
     NodeSequence,
@@ -257,49 +257,18 @@ def _encode_batch(
     return table, specs
 
 
-#: The persistent verification pool (the paper's "embarrassingly
-#: parallelized" phase): spawned once and reused across ``_verify_all``
-#: generations instead of paying worker start-up per call.
-_EXECUTOR: Optional[ProcessPoolExecutor] = None
-_EXECUTOR_WORKERS = 0
-
-
-def _shared_executor(workers: int) -> ProcessPoolExecutor:
-    """The process pool, created lazily and rebuilt on a worker-count change."""
-    global _EXECUTOR, _EXECUTOR_WORKERS
-    if _EXECUTOR is not None and _EXECUTOR_WORKERS != workers:
-        _EXECUTOR.shutdown(wait=True)
-        _EXECUTOR = None
-    if _EXECUTOR is None:
-        _EXECUTOR = ProcessPoolExecutor(max_workers=workers)
-        _EXECUTOR_WORKERS = workers
-    return _EXECUTOR
+#: Back-compat alias: the pool now lives in :mod:`repro.core.pool`, shared
+#: between soundness verification and parallel exploration.
+_shared_executor = shared_executor
 
 
 def shutdown_verification_pool(broken: bool = False) -> None:
-    """Tear down the persistent pool (idempotent; re-created on next use).
+    """Deprecated alias for :func:`repro.core.pool.shutdown_worker_pool`.
 
-    ``broken=True`` is the :class:`BrokenProcessPool` recovery path: the
-    pool's workers are already dead or dying, so waiting on them can hang
-    (and shutdown itself can raise mid-teardown), which would defeat the
-    retry-once recovery in ``_verify_all``.  There we cancel what we can,
-    don't wait, and swallow teardown errors — the pool object is dropped
-    either way and the next use builds a fresh one.
+    Kept for callers that predate the pool's generalization to exploration;
+    new code should import ``shutdown_worker_pool`` from ``repro.core.pool``.
     """
-    global _EXECUTOR, _EXECUTOR_WORKERS
-    if _EXECUTOR is not None:
-        if broken:
-            try:
-                _EXECUTOR.shutdown(wait=False, cancel_futures=True)
-            except Exception:  # noqa: BLE001 - best-effort teardown of a dead pool
-                pass
-        else:
-            _EXECUTOR.shutdown(wait=True)
-        _EXECUTOR = None
-        _EXECUTOR_WORKERS = 0
-
-
-atexit.register(shutdown_verification_pool)
+    shutdown_worker_pool(broken=broken)
 
 
 class ParallelLocalModelChecker:
@@ -483,10 +452,10 @@ class ParallelLocalModelChecker:
         Returns one :class:`WorkerReport` per unit, in unit order.  Units
         are grouped into batches (about four per worker) whose sequences are
         deduplicated into one shared table each, submitted to the persistent
-        :func:`_shared_executor` pool; futures are resolved in submission
-        order, so the trace the parent re-emits stays causally aligned with
-        the unit list.  A broken pool (a killed worker) is rebuilt once and
-        the whole generation retried before giving up.
+        :func:`repro.core.pool.shared_executor` pool; futures are resolved
+        in submission order, so the trace the parent re-emits stays causally
+        aligned with the unit list.  A broken pool (a killed worker) is
+        rebuilt once and the whole generation retried before giving up.
         """
         max_combinations = self._report_config.max_combinations_per_check
         if not units:
@@ -502,7 +471,7 @@ class ParallelLocalModelChecker:
             for start in range(0, len(units), batch_size)
         ]
         for attempt in (0, 1):
-            executor = _shared_executor(workers)
+            executor = shared_executor(workers)
             try:
                 futures = [
                     executor.submit(
@@ -516,7 +485,7 @@ class ParallelLocalModelChecker:
                     for report in future.result()
                 ]
             except BrokenProcessPool:
-                shutdown_verification_pool(broken=True)
+                shutdown_worker_pool(broken=True)
                 if attempt:
                     raise
         raise AssertionError("unreachable")

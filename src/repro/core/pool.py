@@ -1,0 +1,67 @@
+"""The persistent worker process pool shared across checker phases.
+
+PR 3 introduced a persistent :class:`ProcessPoolExecutor` for soundness
+verification; parallel frontier exploration (docs/PERFORMANCE.md) reuses the
+same workers for its per-round shard fan-out, so both phases amortize one
+pool's start-up cost instead of each paying their own.  This module owns the
+pool's lifecycle; the verification and exploration dispatchers only ever ask
+for :func:`shared_executor` and call :func:`shutdown_worker_pool` on the
+:class:`BrokenProcessPool` recovery path.
+
+The pool is process-global and created lazily.  A worker-count change
+rebuilds it; a rebuild of an *already broken* pool must not wait on its dead
+workers (``shutdown(wait=True)`` can hang on a SIGKILLed worker), so the
+rebuild path inspects the executor's broken flag and reuses the
+``broken=True`` teardown in that case.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+_EXECUTOR: Optional[ProcessPoolExecutor] = None
+_EXECUTOR_WORKERS = 0
+
+
+def shared_executor(workers: int) -> ProcessPoolExecutor:
+    """The process pool, created lazily and rebuilt on a worker-count change.
+
+    When the existing pool is already broken (its ``_broken`` flag is set —
+    a worker died since the last dispatch), the rebuild tears it down via the
+    no-wait broken path instead of blocking on dead processes.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None and _EXECUTOR_WORKERS != workers:
+        shutdown_worker_pool(broken=bool(getattr(_EXECUTOR, "_broken", False)))
+    if _EXECUTOR is None:
+        _EXECUTOR = ProcessPoolExecutor(max_workers=workers)
+        _EXECUTOR_WORKERS = workers
+    return _EXECUTOR
+
+
+def shutdown_worker_pool(broken: bool = False) -> None:
+    """Tear down the persistent pool (idempotent; re-created on next use).
+
+    ``broken=True`` is the :class:`BrokenProcessPool` recovery path: the
+    pool's workers are already dead or dying, so waiting on them can hang
+    (and shutdown itself can raise mid-teardown), which would defeat the
+    retry-once recovery in the dispatchers.  There we cancel what we can,
+    don't wait, and swallow teardown errors — the pool object is dropped
+    either way and the next use builds a fresh one.
+    """
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None:
+        if broken:
+            try:
+                _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 - best-effort teardown of a dead pool
+                pass
+        else:
+            _EXECUTOR.shutdown(wait=True)
+        _EXECUTOR = None
+        _EXECUTOR_WORKERS = 0
+
+
+atexit.register(shutdown_worker_pool)

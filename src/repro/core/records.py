@@ -72,6 +72,7 @@ class NodeStateRecord:
         "discarded",
         "crashed",
         "crashes",
+        "state_size",
         "_link_keys",
     )
 
@@ -86,6 +87,7 @@ class NodeStateRecord:
         history: FrozenSet[int],
         crashes: int = 0,
         crashed: bool = False,
+        state_size: Optional[int] = None,
     ):
         self.node = node
         self.state = state
@@ -112,6 +114,11 @@ class NodeStateRecord:
         #: (like ``depth``/``local_depth``, frozen at first discovery — the
         #: paper's simplification).  Bounded by ``max_crashes_per_node``.
         self.crashes = crashes
+        #: Canonical-encoding size of ``state``, when a caller already knows
+        #: it (parallel-exploration workers ship it next to the hash so the
+        #: coordinator's memory accounting never re-encodes a shipped state);
+        #: computed lazily — and then cached — otherwise.
+        self.state_size = state_size
         self._link_keys: set = set()
 
     def add_predecessor(self, link: PredecessorLink) -> bool:
@@ -130,8 +137,11 @@ class NodeStateRecord:
 
     def retained_bytes(self) -> int:
         """Deterministic memory footprint of this record."""
+        size = self.state_size
+        if size is None:
+            size = self.state_size = content_size(self.state)
         return (
-            content_size(self.state)
+            size
             + INDEX_ENTRY_BYTES
             + LINK_BYTES * len(self.predecessors)
             + HISTORY_ENTRY_BYTES * len(self.history)
@@ -212,6 +222,7 @@ class NodeStateStore:
         history: FrozenSet[int],
         crashes: int = 0,
         crashed: bool = False,
+        state_size: Optional[int] = None,
     ) -> NodeStateRecord:
         """Append a new (unvisited) state; caller must have checked lookup."""
         if state_hash in self._by_hash:
@@ -226,6 +237,7 @@ class NodeStateStore:
             history=history,
             crashes=crashes,
             crashed=crashed,
+            state_size=state_size,
         )
         self.records.append(record)
         self._by_hash[state_hash] = record

@@ -130,6 +130,53 @@ class TraceSummary:
             entry["total_s"] += float(span.get("dur_s", 0.0))
         return sorted(by_pid.values(), key=lambda entry: entry["pid"])
 
+    def health_profile(self) -> Dict[str, Any]:
+        """Pool & cache health: interner hit rate, evictions, parallel rounds.
+
+        Pulls together the operational gauges a long run's trace carries but
+        the paper tables don't surface: the hash interner's hit rate (the
+        last ``hash_cache`` event — the interner is process-global, so the
+        last snapshot is the authoritative one), rejected-cache evictions
+        and the two cache-hit counters from the final metric, and the
+        parallel-exploration round/shard/sync-miss totals from
+        ``parallel_round`` events.
+        """
+        health: Dict[str, Any] = {}
+        caches = self.events("hash_cache")
+        if caches:
+            fields = caches[-1].get("fields", {})
+            hits = int(fields.get("hits", 0))
+            misses = int(fields.get("misses", 0))
+            health["intern_hits"] = hits
+            health["intern_misses"] = misses
+            health["intern_evictions"] = int(fields.get("evictions", 0))
+            health["intern_entries"] = int(fields.get("entries", 0))
+            health["intern_hit_rate"] = (
+                hits / (hits + misses) if hits + misses else 0.0
+            )
+        final = self.final_metric() or {}
+        for counter in (
+            "sequence_cache_hits",
+            "replay_cache_hits",
+            "rejected_cache_evictions",
+            "explore_rounds_parallel",
+            "explore_shards",
+            "explore_merge_conflicts_suppressed",
+        ):
+            if counter in final:
+                health[counter] = int(final[counter])
+        rounds = self.events("parallel_round")
+        if rounds:
+            fields_of = [record.get("fields", {}) for record in rounds]
+            health["parallel_round_events"] = len(rounds)
+            health["parallel_items"] = sum(
+                int(fields.get("items", 0)) for fields in fields_of
+            )
+            health["parallel_sync_misses"] = sum(
+                int(fields.get("sync_misses", 0)) for fields in fields_of
+            )
+        return health
+
     # -- rendering -------------------------------------------------------------
 
     def render(self) -> str:
@@ -178,6 +225,19 @@ class TraceSummary:
                     ["pid", "units", "total s"],
                     [(w["pid"], w["units"], w["total_s"]) for w in workers],
                 )
+            )
+
+        health = self.health_profile()
+        if health:
+            health_rows = []
+            for key, value in sorted(health.items()):
+                if key == "intern_hit_rate":
+                    health_rows.append((key, f"{value * 100:.1f}%"))
+                else:
+                    health_rows.append((key, value))
+            sections.append(
+                "Pool & cache health\n"
+                + format_table(["gauge", "value"], health_rows)
             )
 
         final = self.final_metric()

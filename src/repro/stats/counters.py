@@ -60,6 +60,15 @@ class ExplorationStats:
     fault_crashes: int = 0
     #: Restart events executed by the fault scheduler.
     fault_restarts: int = 0
+    #: Exploration rounds whose frontier was dispatched to the worker pool
+    #: (docs/PERFORMANCE.md "Parallel frontier exploration").
+    explore_rounds_parallel: int = 0
+    #: Frontier shards shipped to workers across all parallel rounds.
+    explore_shards: int = 0
+    #: Speculative successor states whose deterministic merge found the
+    #: state already in ``LS_n`` (cross-shard rediscoveries suppressed into
+    #: a predecessor pointer, exactly as serial dedup would).
+    explore_merge_conflicts_suppressed: int = 0
     #: Wall-clock seconds attributed to each checker phase; keys are phase
     #: names such as "explore", "system_states", "soundness" (Fig. 13).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -89,6 +98,11 @@ class ExplorationStats:
             "rejected_cache_evictions": self.rejected_cache_evictions,
             "fault_crashes": self.fault_crashes,
             "fault_restarts": self.fault_restarts,
+            "explore_rounds_parallel": self.explore_rounds_parallel,
+            "explore_shards": self.explore_shards,
+            "explore_merge_conflicts_suppressed": (
+                self.explore_merge_conflicts_suppressed
+            ),
             **{f"phase_{name}_s": secs for name, secs in self.phase_seconds.items()},
         }
 
@@ -112,5 +126,10 @@ class ExplorationStats:
         self.rejected_cache_evictions += other.rejected_cache_evictions
         self.fault_crashes += other.fault_crashes
         self.fault_restarts += other.fault_restarts
+        self.explore_rounds_parallel += other.explore_rounds_parallel
+        self.explore_shards += other.explore_shards
+        self.explore_merge_conflicts_suppressed += (
+            other.explore_merge_conflicts_suppressed
+        )
         for phase, seconds in other.phase_seconds.items():
             self.add_phase_time(phase, seconds)

@@ -1,0 +1,147 @@
+"""Parallel frontier exploration must be invisible in every result.
+
+The PR's speculative round executor (docs/PERFORMANCE.md "Parallel frontier
+exploration") precomputes handler results on pool workers and merges them by
+replaying the exact serial sweep, so with ``explore_workers > 0`` every
+counter, verdict, witness trace and stop reason must equal the serial run —
+the same equivalence discipline ``test_cache_equivalence`` and
+``test_fault_equivalence`` apply to the PR 3 caches and the PR 4 fault
+scheduler.  The tests force tiny thresholds/shards so even small state
+spaces exercise dispatch, sync-miss recovery and the merge path, and a
+SIGKILL test checks the broken-pool retry leaves verdicts intact.
+"""
+
+import os
+import signal
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.core.pool import shared_executor, shutdown_worker_pool
+from repro.explore.budget import SearchBudget
+from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
+from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
+from repro.protocols.twophase import CommitValidity, EagerCommitCoordinator
+from repro.replay import validate_bug
+
+#: Phase timers are wall-clock; the explore_* counters exist only so the
+#: parallel run can prove it actually went parallel.  Everything else must
+#: match the serial run exactly.
+EXCLUDED_KEYS = ("phase_", "explore_")
+
+#: Aggressive knobs: parallelize every round, shard to single items, so tiny
+#: test spaces still cross the dispatch/merge machinery many times.
+PARALLEL = dict(explore_workers=2, explore_round_threshold=1, explore_shard_min=1)
+
+
+def _observable(result):
+    counts = {
+        key: value
+        for key, value in result.stats.snapshot().items()
+        if not key.startswith(EXCLUDED_KEYS)
+    }
+    return {
+        "counts": counts,
+        "completed": result.completed,
+        "stop_reason": result.stop_reason,
+        "bugs": [bug.description for bug in result.bugs],
+        "traces": [bug.trace_lines() for bug in result.bugs],
+    }
+
+
+def _run(protocol, invariant, budget=None, initial=None, **config_kw):
+    checker = LocalModelChecker(
+        protocol,
+        invariant,
+        budget=budget or SearchBudget.unbounded(),
+        config=LMCConfig.optimized(**config_kw),
+    )
+    return checker.run(initial)
+
+
+class TestEquivalence:
+    @settings(max_examples=5, deadline=None)
+    @given(no_voter=st.sampled_from([None, 0, 1, 2]))
+    def test_2pc_matches_serial(self, no_voter):
+        voters = (no_voter,) if no_voter is not None else ()
+        serial = _run(EagerCommitCoordinator(3, no_voters=voters), CommitValidity())
+        parallel = _run(
+            EagerCommitCoordinator(3, no_voters=voters), CommitValidity(), **PARALLEL
+        )
+        assert _observable(serial) == _observable(parallel)
+        assert parallel.stats.explore_rounds_parallel > 0
+
+    @settings(max_examples=4, deadline=None)
+    @given(depth=st.integers(min_value=3, max_value=6))
+    def test_depth_bounded_paxos_matches_serial(self, depth):
+        protocol = PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),))
+        budget = SearchBudget(max_depth=depth)
+        serial = _run(protocol, PaxosAgreement(0), budget=budget)
+        parallel = _run(protocol, PaxosAgreement(0), budget=budget, **PARALLEL)
+        assert _observable(serial) == _observable(parallel)
+        assert parallel.stats.explore_rounds_parallel > 0
+
+    @settings(max_examples=3, deadline=None)
+    @given(max_crashes=st.integers(min_value=0, max_value=2))
+    def test_faulty_paxos_matches_serial(self, max_crashes):
+        protocol = PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),))
+        budget = SearchBudget(max_depth=5)
+        faults = dict(fault_events_enabled=True, max_total_crashes=max_crashes)
+        serial = _run(protocol, PaxosAgreement(0), budget=budget, **faults)
+        parallel = _run(
+            protocol, PaxosAgreement(0), budget=budget, **faults, **PARALLEL
+        )
+        assert _observable(serial) == _observable(parallel)
+        assert parallel.stats.explore_rounds_parallel > 0
+
+    def test_buggy_scenario_bug_and_witness_match(self):
+        serial = _run(
+            scenario_protocol(buggy=True),
+            PaxosAgreement(0),
+            initial=partial_choice_state(),
+        )
+        parallel = _run(
+            scenario_protocol(buggy=True),
+            PaxosAgreement(0),
+            initial=partial_choice_state(),
+            **PARALLEL,
+        )
+        assert serial.found_bug and parallel.found_bug
+        assert _observable(serial) == _observable(parallel)
+        replayed = validate_bug(
+            scenario_protocol(buggy=True), parallel.first_bug(), PaxosAgreement(0)
+        )
+        assert replayed.complete and replayed.violates
+
+    def test_round_threshold_keeps_small_runs_serial(self):
+        result = _run(
+            EagerCommitCoordinator(3),
+            CommitValidity(),
+            explore_workers=2,
+            explore_round_threshold=10_000,
+        )
+        assert result.completed
+        assert result.stats.explore_rounds_parallel == 0
+        assert result.stats.explore_shards == 0
+
+
+class TestPoolFailure:
+    def teardown_method(self):
+        shutdown_worker_pool()
+
+    def test_killed_worker_mid_setup_still_matches_serial(self):
+        """SIGKILL a pool worker; dispatch must recover (or fall back) with
+        byte-identical results either way."""
+        shutdown_worker_pool()
+        executor = shared_executor(2)
+        victim = executor.submit(os.getpid).result()
+        os.kill(victim, signal.SIGKILL)
+        protocol = EagerCommitCoordinator(3, no_voters=(2,))
+        serial = _run(EagerCommitCoordinator(3, no_voters=(2,)), CommitValidity())
+        parallel = _run(protocol, CommitValidity(), **PARALLEL)
+        assert _observable(serial) == _observable(parallel)
+        assert parallel.found_bug
+        replayed = validate_bug(protocol, parallel.first_bug(), CommitValidity())
+        assert replayed.complete and replayed.violates

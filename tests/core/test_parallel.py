@@ -5,7 +5,7 @@ import signal
 
 import pytest
 
-import repro.core.parallel as parallel
+import repro.core.pool as pool
 from repro.core.checker import LocalModelChecker
 from repro.core.config import LMCConfig
 from repro.core.parallel import (
@@ -14,6 +14,7 @@ from repro.core.parallel import (
     shutdown_verification_pool,
     verify_unit,
 )
+from repro.core.pool import shared_executor, shutdown_worker_pool
 from repro.explore.budget import SearchBudget
 from repro.protocols.paxos import PaxosAgreement
 from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
@@ -120,37 +121,69 @@ class _RaisingExecutor:
         raise RuntimeError("teardown raced a dying worker")
 
 
+class _BrokenStubExecutor(_RaisingExecutor):
+    """A pool that has already broken (as ProcessPoolExecutor marks itself)."""
+
+    _broken = True
+
+
 class TestPoolRecovery:
     def teardown_method(self):
-        shutdown_verification_pool()
+        shutdown_worker_pool()
 
     def test_broken_shutdown_swallows_teardown_errors(self, monkeypatch):
         """The BrokenProcessPool path must never raise out of teardown."""
-        shutdown_verification_pool()
+        shutdown_worker_pool()
         stub = _RaisingExecutor()
-        monkeypatch.setattr(parallel, "_EXECUTOR", stub)
-        monkeypatch.setattr(parallel, "_EXECUTOR_WORKERS", 2)
-        shutdown_verification_pool(broken=True)
-        assert parallel._EXECUTOR is None
-        assert parallel._EXECUTOR_WORKERS == 0
+        monkeypatch.setattr(pool, "_EXECUTOR", stub)
+        monkeypatch.setattr(pool, "_EXECUTOR_WORKERS", 2)
+        shutdown_worker_pool(broken=True)
+        assert pool._EXECUTOR is None
+        assert pool._EXECUTOR_WORKERS == 0
         # and it must not wait on dead workers or keep queued units alive
         assert stub.calls == [{"wait": False, "cancel_futures": True}]
 
     def test_clean_shutdown_still_waits(self, monkeypatch):
-        shutdown_verification_pool()
+        shutdown_worker_pool()
         stub = _RaisingExecutor()
-        monkeypatch.setattr(parallel, "_EXECUTOR", stub)
-        monkeypatch.setattr(parallel, "_EXECUTOR_WORKERS", 2)
+        monkeypatch.setattr(pool, "_EXECUTOR", stub)
+        monkeypatch.setattr(pool, "_EXECUTOR_WORKERS", 2)
         with pytest.raises(RuntimeError):
-            shutdown_verification_pool()
+            shutdown_worker_pool()
         assert stub.calls == [{"wait": True, "cancel_futures": False}]
-        monkeypatch.setattr(parallel, "_EXECUTOR", None)
-        monkeypatch.setattr(parallel, "_EXECUTOR_WORKERS", 0)
+        monkeypatch.setattr(pool, "_EXECUTOR", None)
+        monkeypatch.setattr(pool, "_EXECUTOR_WORKERS", 0)
+
+    def test_deprecated_alias_still_works(self, monkeypatch):
+        """`shutdown_verification_pool` forwards to the shared-pool teardown."""
+        stub = _RaisingExecutor()
+        monkeypatch.setattr(pool, "_EXECUTOR", stub)
+        monkeypatch.setattr(pool, "_EXECUTOR_WORKERS", 2)
+        shutdown_verification_pool(broken=True)
+        assert pool._EXECUTOR is None
+        assert stub.calls == [{"wait": False, "cancel_futures": True}]
+
+    def test_worker_count_change_tolerates_broken_pool(self, monkeypatch):
+        """Resizing away from an already-broken pool must not wait on it.
+
+        A clean resize waits for in-flight work; a broken pool has none and
+        its teardown can raise — the rebuild must take the broken path.
+        """
+        stub = _BrokenStubExecutor()
+        monkeypatch.setattr(pool, "_EXECUTOR", stub)
+        monkeypatch.setattr(pool, "_EXECUTOR_WORKERS", 4)
+        executor = shared_executor(2)
+        try:
+            assert executor is not stub
+            assert stub.calls == [{"wait": False, "cancel_futures": True}]
+            assert executor.submit(os.getpid).result() > 0
+        finally:
+            shutdown_worker_pool()
 
     def test_killed_worker_is_retried_to_completion(self):
         """SIGKILL a pool worker; the next run must rebuild and still confirm."""
-        shutdown_verification_pool()
-        executor = parallel._shared_executor(2)
+        shutdown_worker_pool()
+        executor = shared_executor(2)
         victim = executor.submit(os.getpid).result()
         os.kill(victim, signal.SIGKILL)
         protocol = EagerCommitCoordinator(3, no_voters=(2,))

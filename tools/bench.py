@@ -13,7 +13,16 @@ measurement sees cold caches, an honest ``ru_maxrss``, and no JIT-warm
 interpreter state from the other mode.  Wall-clock is the **minimum** over
 ``--repeat`` runs (minimum, not mean: scheduling noise only ever adds time).
 
-The harness *asserts* that both modes produce identical counters, verdicts
+A third leg (``--explore-workers N``, default 2; 0 disables) reruns every
+workload with parallel frontier exploration on — caches as in cached mode —
+and asserts the same counter/verdict/trace equality against the serial
+cached run (docs/PERFORMANCE.md: the parallel merge must be semantics-
+preserving, exactly like the caches).  The measured wall clock and
+serial/parallel speedup are recorded; the payload also records ``cpus`` so
+a reader can tell a real speedup environment from a single-core container,
+where the speculative executor can only break even at best.
+
+The harness *asserts* that all modes produce identical counters, verdicts
 and witness traces — the caches are required to be semantics-preserving —
 and exits non-zero on any divergence, which is what the CI perf-smoke job
 keys on.  Wall-clock is recorded but never gated in ``--quick`` mode:
@@ -48,6 +57,16 @@ NONDETERMINISTIC_KEYS = ("phase_",)
 CACHE_ONLY_KEYS = frozenset(
     {"sequence_cache_hits", "replay_cache_hits", "rejected_cache_evictions"}
 )
+#: Likewise excluded: these count parallel-exploration machinery (rounds
+#: dispatched, shards, merge-suppressed rediscoveries), so serial runs
+#: report zeros for them by construction.
+EXPLORE_ONLY_KEYS = frozenset(
+    {
+        "explore_rounds_parallel",
+        "explore_shards",
+        "explore_merge_conflicts_suppressed",
+    }
+)
 
 #: Depths for the Fig. 10 sweep.  ``max_depth`` bounds *per-node* discovery
 #: depth, which saturates around 9 on the single-proposal space, so this
@@ -67,6 +86,23 @@ def _build_checker(workload: str, config_overrides: Dict[str, Any]):
     from repro.core.checker import LocalModelChecker
     from repro.core.config import LMCConfig
     from repro.explore.budget import SearchBudget
+
+    if workload == "paxos2_d6":
+        # The deep parallel-exploration workload: two competing proposals
+        # make the frontier wide enough (thousands of items per round) that
+        # round sharding has real work to amortize dispatch against.
+        from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
+
+        protocol = PaxosProtocol(
+            num_nodes=3, proposals=((0, 0, "v0"), (1, 1, "v1"))
+        )
+        config = LMCConfig.optimized(**config_overrides)
+        return (
+            LocalModelChecker(
+                protocol, PaxosAgreement(0), SearchBudget(max_depth=6), config
+            ),
+            None,
+        )
 
     if workload in ("paxos_opt", "paxos_gen") or workload.startswith("fig10_d"):
         from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
@@ -145,6 +181,15 @@ def _run_child(workload: str, mode: str) -> None:
             "memoize_soundness": False,
             "incremental_enumeration": False,
         }
+    elif mode.startswith("explore"):
+        # Parallel frontier exploration on top of the cached defaults.  Low
+        # threshold/shard floor so even the smaller workloads actually cross
+        # the dispatch path instead of silently staying serial.
+        overrides = {
+            "explore_workers": int(mode[len("explore") :]),
+            "explore_round_threshold": 32,
+            "explore_shard_min": 8,
+        }
     else:
         overrides = {}
 
@@ -158,6 +203,7 @@ def _run_child(workload: str, mode: str) -> None:
         for key, value in result.stats.snapshot().items()
         if not key.startswith(NONDETERMINISTIC_KEYS)
         and key not in CACHE_ONLY_KEYS
+        and key not in EXPLORE_ONLY_KEYS
     }
     report = {
         "wall_s": wall_s,
@@ -166,6 +212,7 @@ def _run_child(workload: str, mode: str) -> None:
             "fault_events_enabled": checker.config.fault_events_enabled,
             "max_crashes_per_node": checker.config.max_crashes_per_node,
             "max_total_crashes": checker.config.max_total_crashes,
+            "explore_workers": checker.config.explore_workers,
         },
         "counts": counts,
         "completed": result.completed,
@@ -174,6 +221,9 @@ def _run_child(workload: str, mode: str) -> None:
         "intern": hashing.intern_stats(),
         "cache_hits": {
             key: result.stats.snapshot()[key] for key in sorted(CACHE_ONLY_KEYS)
+        },
+        "explore": {
+            key: result.stats.snapshot()[key] for key in sorted(EXPLORE_ONLY_KEYS)
         },
     }
     json.dump(report, sys.stdout)
@@ -224,26 +274,30 @@ def _hit_rate(intern: Dict[str, int]) -> Optional[float]:
     return round(intern["hits"] / total, 4) if total else None
 
 
-def _compare_modes(workload: str, cached: Dict[str, Any], uncached: Dict[str, Any]) -> List[str]:
-    """Equality errors between the two modes ([] when semantics match)."""
+def _compare_modes(
+    workload: str, label: str, base: Dict[str, Any], other: Dict[str, Any]
+) -> List[str]:
+    """Equality errors between two mode reports ([] when semantics match)."""
     errors = []
     for field in ("counts", "completed", "bugs", "traces"):
-        if cached[field] != uncached[field]:
+        if base[field] != other[field]:
             errors.append(
-                f"{workload}: {field} diverge between cached and uncached "
-                f"modes:\n  cached:   {cached[field]}\n  uncached: {uncached[field]}"
+                f"{workload}: {field} diverge between cached and {label} "
+                f"modes:\n  cached: {base[field]}\n  {label}: {other[field]}"
             )
     return errors
 
 
-def run_suite(workloads: List[str], repeat: int) -> Dict[str, Any]:
+def run_suite(
+    workloads: List[str], repeat: int, explore_workers: int
+) -> Dict[str, Any]:
     results: Dict[str, Any] = {}
     errors: List[str] = []
     for workload in workloads:
         print(f"[bench] {workload} ...", flush=True)
         cached = _measure(workload, "cached", repeat)
         uncached = _measure(workload, "uncached", repeat)
-        errors.extend(_compare_modes(workload, cached, uncached))
+        errors.extend(_compare_modes(workload, "uncached", cached, uncached))
         speedup = (
             round(uncached["wall_s"] / cached["wall_s"], 3)
             if cached["wall_s"] > 0
@@ -267,6 +321,29 @@ def run_suite(workloads: List[str], repeat: int) -> Dict[str, Any]:
             f"uncached={uncached['wall_s']:.3f}s speedup={speedup}x",
             flush=True,
         )
+        if explore_workers > 0:
+            # Serial vs parallel exploration, both with warm caches: the
+            # parallel merge must reproduce the serial run bit for bit.
+            explore = _measure(workload, f"explore{explore_workers}", repeat)
+            errors.extend(_compare_modes(workload, "explore", cached, explore))
+            speedup_explore = (
+                round(cached["wall_s"] / explore["wall_s"], 3)
+                if explore["wall_s"] > 0
+                else None
+            )
+            results[workload]["explore"] = {
+                "config": explore["config"],
+                "wall_s": round(explore["wall_s"], 4),
+                "speedup_vs_serial": speedup_explore,
+                "peak_rss_kb": explore["peak_rss_kb"],
+                "counters": explore["explore"],
+            }
+            print(
+                f"[bench]   explore({explore_workers}w)={explore['wall_s']:.3f}s "
+                f"speedup_vs_serial={speedup_explore}x "
+                f"rounds={explore['explore']['explore_rounds_parallel']}",
+                flush=True,
+            )
     if errors:
         raise SystemExit("count/verdict divergence:\n" + "\n".join(errors))
     return results
@@ -315,6 +392,14 @@ def main() -> None:
         action="store_true",
         help="skip the >=2x paxos_opt wall-clock assertion (implied by --quick)",
     )
+    parser.add_argument(
+        "--explore-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="also run each workload with N-worker parallel exploration and "
+        "gate its counts against the serial run (0 skips the leg)",
+    )
     args = parser.parse_args()
 
     if args.child:
@@ -332,18 +417,21 @@ def main() -> None:
             "s55_snapshot",
             "s56_onepaxos",
             "paxos_faults",
+            "paxos2_d6",
         ]
         repeat = args.repeat
 
-    results = run_suite(workloads, repeat)
+    results = run_suite(workloads, repeat, max(0, args.explore_workers))
 
     # Write the report before any gating so a failing gate still leaves the
     # measurements on disk (CI uploads them as an artifact either way).
     payload = {
         "benchmark": "LMC hot-path caches (cached vs uncached)",
         "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
         "repeat": repeat,
         "quick": args.quick,
+        "explore_workers": max(0, args.explore_workers),
         "workloads": results,
     }
     with open(args.out, "w") as handle:
