@@ -11,15 +11,21 @@ Examples::
     python -m repro trace paxos                    # traced run, JSONL out
     python -m repro check paxos --trace-out t.jsonl --metrics-interval 0.5
     python -m repro trace-report t.jsonl           # Fig. 13 / §5.4 tables
+    python -m repro check paxos --coverage --metrics-interval 0.5
+    python -m repro runs                           # list registered runs
+    python -m repro status                         # latest run, live depth/ETA
+    python -m repro coverage                       # handler coverage report
+    python -m repro serve-status --port 8765       # read-only HTTP endpoint
 
-See docs/OBSERVABILITY.md for the trace record schema.
+See docs/OBSERVABILITY.md for the trace record schema and the "Live
+operations" section for the run registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.checker import LocalModelChecker
 from repro.core.config import LMCConfig
@@ -28,9 +34,12 @@ from repro.explore.budget import SearchBudget
 from repro.explore.global_checker import GlobalModelChecker
 from repro.invariants.base import Invariant
 from repro.model.protocol import Protocol
+from repro.obs.coverage import CoverageTracker, render_coverage
 from repro.obs.emitter import NULL_EMITTER, JsonlEmitter, TraceEmitter
+from repro.obs.progress import format_eta
+from repro.obs.registry import RunHandle, RunRecord, RunRegistry
 from repro.reports import CheckResult
-from repro.stats.reporting import format_phase_breakdown
+from repro.stats.reporting import format_phase_breakdown, format_table
 
 #: protocol name -> (builder(nodes, buggy) -> (protocol, invariant), doc)
 WorkloadBuilder = Callable[[int, bool], Tuple[Protocol, Invariant]]
@@ -146,6 +155,35 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: only when the explored depth grows)",
         )
 
+    def add_registry_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--no-registry",
+            dest="registry",
+            action="store_false",
+            help="do not register this run under the runs root "
+            "(no heartbeats, invisible to `repro runs`)",
+        )
+        command.add_argument(
+            "--registry-root",
+            metavar="PATH",
+            default=None,
+            help="runs root directory (default: $REPRO_RUNS_ROOT or .lmc/runs)",
+        )
+        command.add_argument(
+            "--coverage",
+            action="store_true",
+            help="record per-handler/per-invariant coverage counters "
+            "(reported by `repro coverage`; see docs/OBSERVABILITY.md)",
+        )
+
+    def add_reader_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--registry-root",
+            metavar="PATH",
+            default=None,
+            help="runs root directory (default: $REPRO_RUNS_ROOT or .lmc/runs)",
+        )
+
     def add_check_flags(command: argparse.ArgumentParser) -> None:
         command.add_argument("workload", choices=sorted(WORKLOADS))
         command.add_argument(
@@ -194,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help="model check a named workload")
     add_check_flags(check)
     add_trace_flags(check)
+    add_registry_flags(check)
 
     trace = sub.add_parser(
         "trace",
@@ -202,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_check_flags(trace)
     add_trace_flags(trace)
+    add_registry_flags(trace)
 
     scenario = sub.add_parser(
         "scenario", help="run a paper experiment from its live snapshot"
@@ -210,12 +250,44 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--buggy", action="store_true", default=None)
     scenario.add_argument("--correct", dest="buggy", action="store_false")
     add_trace_flags(scenario)
+    add_registry_flags(scenario)
 
     report = sub.add_parser(
         "trace-report",
         help="render a captured trace file into Fig. 13 / §5.4 tables",
     )
     report.add_argument("trace_file", metavar="TRACE.jsonl")
+
+    runs = sub.add_parser(
+        "runs", help="list registered runs (live and finished)"
+    )
+    add_reader_flags(runs)
+
+    status = sub.add_parser(
+        "status",
+        help="show one run's latest heartbeat: depth, counters, progress/ETA",
+    )
+    status.add_argument(
+        "run_id", nargs="?", default=None, help="run id (default: latest run)"
+    )
+    add_reader_flags(status)
+
+    coverage = sub.add_parser(
+        "coverage",
+        help="report handler/invariant/fault coverage recorded by --coverage",
+    )
+    coverage.add_argument(
+        "run_id", nargs="?", default=None, help="run id (default: latest run)"
+    )
+    add_reader_flags(coverage)
+
+    serve = sub.add_parser(
+        "serve-status",
+        help="serve the run registry as read-only JSON over HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    add_reader_flags(serve)
 
     return parser
 
@@ -233,8 +305,36 @@ def _make_emitter(args: argparse.Namespace) -> TraceEmitter:
     return JsonlEmitter(path) if path else NULL_EMITTER
 
 
+def _make_run_context(
+    args: argparse.Namespace, argv: Optional[list]
+) -> Tuple[Optional[RunHandle], Optional[CoverageTracker]]:
+    """Register the run and build its coverage tracker, per the flags.
+
+    Registration failures (an unwritable runs root) degrade to a warning:
+    observability must never take the checker down with it.
+    """
+    coverage = CoverageTracker() if getattr(args, "coverage", False) else None
+    if not getattr(args, "registry", True):
+        return None, coverage
+    try:
+        handle = RunRegistry(getattr(args, "registry_root", None)).register(
+            command=args.command,
+            workload=getattr(args, "workload", None) or getattr(args, "name", None),
+            algorithm=getattr(args, "algorithm", None),
+            argv=list(argv) if argv is not None else sys.argv[1:],
+        )
+    except OSError as exc:
+        print(f"warning: cannot register run: {exc}", file=sys.stderr)
+        return None, coverage
+    handle.advertise_cadence(getattr(args, "metrics_interval", None))
+    return handle, coverage
+
+
 def run_check(
-    args: argparse.Namespace, emitter: TraceEmitter = NULL_EMITTER
+    args: argparse.Namespace,
+    emitter: TraceEmitter = NULL_EMITTER,
+    run_handle: Optional[RunHandle] = None,
+    coverage: Optional[CoverageTracker] = None,
 ) -> CheckResult:
     """Run the ``check``/``trace`` subcommands: a named workload, one algorithm.
 
@@ -262,10 +362,11 @@ def run_check(
         )
     if args.algorithm == "bdfs":
         # The fault scheduler is an LMC feature (docs/FAULTS.md); B-DFS
-        # explores the paper's original event vocabulary.
+        # explores the paper's original event vocabulary — it registers
+        # and finishes in the registry but emits no heartbeats.
         return GlobalModelChecker(protocol, invariant, budget=budget).run()
     if args.algorithm == "lmc-parallel":
-        return ParallelLocalModelChecker(
+        checker: Any = ParallelLocalModelChecker(
             protocol,
             invariant,
             budget=budget,
@@ -273,24 +374,36 @@ def run_check(
             workers=args.workers or None,
             emitter=emitter,
             metrics_interval=interval,
-        ).run()
-    config = (
-        LMCConfig.optimized(**fault_overrides)
-        if args.algorithm == "lmc-opt"
-        else LMCConfig.general(**fault_overrides)
-    )
-    return LocalModelChecker(
-        protocol,
-        invariant,
-        budget=budget,
-        config=config,
-        emitter=emitter,
-        metrics_interval=interval,
-    ).run()
+            run_handle=run_handle,
+            coverage=coverage,
+        )
+    else:
+        config = (
+            LMCConfig.optimized(**fault_overrides)
+            if args.algorithm == "lmc-opt"
+            else LMCConfig.general(**fault_overrides)
+        )
+        checker = LocalModelChecker(
+            protocol,
+            invariant,
+            budget=budget,
+            config=config,
+            emitter=emitter,
+            metrics_interval=interval,
+            run_handle=run_handle,
+            coverage=coverage,
+        )
+    result = checker.run()
+    if run_handle is not None and coverage is not None:
+        run_handle.write_coverage(checker.coverage_report())
+    return result
 
 
 def run_scenario(
-    args: argparse.Namespace, emitter: TraceEmitter = NULL_EMITTER
+    args: argparse.Namespace,
+    emitter: TraceEmitter = NULL_EMITTER,
+    run_handle: Optional[RunHandle] = None,
+    coverage: Optional[CoverageTracker] = None,
 ) -> CheckResult:
     """Run a §5.5/§5.6 scenario from its live snapshot (optionally traced)."""
     buggy = True if args.buggy is None else args.buggy
@@ -303,27 +416,198 @@ def run_scenario(
         )
 
         protocol = scenario_protocol(buggy)
-        return LocalModelChecker(
-            protocol,
-            PaxosAgreement(0),
-            config=LMCConfig.optimized(),
-            emitter=emitter,
-            metrics_interval=interval,
-        ).run(partial_choice_state())
-    from repro.protocols.onepaxos import OnePaxosAgreement
-    from repro.protocols.onepaxos.scenarios import (
-        post_leaderchange_state,
-        scenario_protocol as onepaxos_scenario,
-    )
+        invariant: Invariant = PaxosAgreement(0)
+        initial = partial_choice_state()
+    else:
+        from repro.protocols.onepaxos import OnePaxosAgreement
+        from repro.protocols.onepaxos.scenarios import (
+            post_leaderchange_state,
+            scenario_protocol as onepaxos_scenario,
+        )
 
-    protocol = onepaxos_scenario(buggy)
-    return LocalModelChecker(
+        protocol = onepaxos_scenario(buggy)
+        invariant = OnePaxosAgreement(0)
+        initial = post_leaderchange_state(protocol)
+    checker = LocalModelChecker(
         protocol,
-        OnePaxosAgreement(0),
+        invariant,
         config=LMCConfig.optimized(),
         emitter=emitter,
         metrics_interval=interval,
-    ).run(post_leaderchange_state(protocol))
+        run_handle=run_handle,
+        coverage=coverage,
+    )
+    result = checker.run(initial)
+    if run_handle is not None and coverage is not None:
+        run_handle.write_coverage(checker.coverage_report())
+    return result
+
+
+def _load_run(args: argparse.Namespace) -> Tuple[RunRegistry, Optional[RunRecord]]:
+    """Resolve the run a reader command addresses (explicit id or latest)."""
+    registry = RunRegistry(getattr(args, "registry_root", None))
+    run_id = getattr(args, "run_id", None)
+    record = registry.load(run_id) if run_id else registry.latest()
+    return registry, record
+
+
+def run_runs(args: argparse.Namespace) -> int:
+    """``repro runs``: one row per registered run, newest last."""
+    registry = RunRegistry(args.registry_root)
+    records = registry.list_runs()
+    if not records:
+        print(f"no runs registered under {registry.root}")
+        return 0
+    rows = []
+    for record in records:
+        heartbeat = record.heartbeat or {}
+        progress = heartbeat.get("progress") or {}
+        rows.append(
+            (
+                record.run_id,
+                record.meta.get("command") or "-",
+                record.meta.get("workload") or "-",
+                record.meta.get("algorithm") or heartbeat.get("algorithm") or "-",
+                record.status(),
+                heartbeat.get("depth", "-"),
+                int(heartbeat["transitions"])
+                if "transitions" in heartbeat
+                else "-",
+                # A finished run's last in-flight ETA is no longer meaningful.
+                format_eta(progress.get("eta_s")) if record.result is None else "-",
+            )
+        )
+    print(
+        format_table(
+            [
+                "run",
+                "command",
+                "workload",
+                "algorithm",
+                "status",
+                "depth",
+                "transitions",
+                "eta",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def render_status(record: RunRecord) -> str:
+    """The ``repro status`` detail view of one run."""
+    heartbeat = record.heartbeat or {}
+    meta = record.meta
+    lines = [
+        f"run           : {record.run_id}",
+        f"status        : {record.status()}",
+        f"command       : {meta.get('command') or '-'}"
+        + (f" {meta.get('workload')}" if meta.get("workload") else ""),
+        f"algorithm     : {meta.get('algorithm') or heartbeat.get('algorithm') or '-'}",
+        f"started       : {meta.get('started') or '-'} (pid {meta.get('pid')})",
+    ]
+    age = record.heartbeat_age_s()
+    if age is not None:
+        lines.append(f"heartbeat     : {age:.1f}s ago")
+    if heartbeat:
+        lines.append(
+            "depth         : "
+            f"{heartbeat.get('depth', '-')}"
+            f" (round {heartbeat.get('round', '-')},"
+            f" frontier {heartbeat.get('frontier', '-')})"
+        )
+        if "transitions" in heartbeat:
+            lines.append(f"transitions   : {int(heartbeat['transitions'])}")
+        if "node_states" in heartbeat:
+            lines.append(f"node states   : {int(heartbeat['node_states'])}")
+        if "rss_bytes" in heartbeat:
+            lines.append(
+                f"rss           : {heartbeat['rss_bytes'] / (1024 * 1024):.1f} MiB"
+            )
+        if "elapsed_s" in heartbeat:
+            lines.append(f"elapsed       : {heartbeat['elapsed_s']:.1f}s")
+    # Progress/ETA describe an in-flight run; once a result exists the
+    # estimate is history, not a forecast.
+    progress = (heartbeat.get("progress") or {}) if record.result is None else {}
+    if progress:
+        fraction = progress.get("fraction_done")
+        factor = progress.get("growth_factor")
+        rate = progress.get("rate_per_s")
+        lines.append(
+            "progress      : "
+            + (f"{fraction * 100.0:.1f}% of est. work" if fraction is not None else "-")
+            + (
+                f" (depth {progress.get('depth')}/{progress.get('max_depth')})"
+                if progress.get("max_depth") is not None
+                else " (no depth bound)"
+            )
+        )
+        if factor is not None:
+            lines.append(f"growth        : x{factor:.2f} work per depth")
+        if rate is not None:
+            lines.append(f"rate          : {rate:.0f} transitions/s")
+        lines.append(f"eta           : {format_eta(progress.get('eta_s'))}")
+    if record.result is not None:
+        result = record.result
+        lines.append(
+            "result        : "
+            + " ".join(
+                f"{key}={result[key]}"
+                for key in sorted(result)
+                if key not in ("run_id", "wall_ts")
+            )
+        )
+    return "\n".join(lines)
+
+
+def run_status(args: argparse.Namespace) -> int:
+    """``repro status [RUN_ID]``: the latest heartbeat, cross-process."""
+    registry, record = _load_run(args)
+    if record is None:
+        target = args.run_id or "latest run"
+        print(f"error: no {target} under {registry.root}", file=sys.stderr)
+        return 2
+    print(render_status(record))
+    return 0
+
+
+def run_coverage(args: argparse.Namespace) -> int:
+    """``repro coverage [RUN_ID]``: the recorded handler-coverage report."""
+    registry, record = _load_run(args)
+    if record is None:
+        target = args.run_id or "latest run"
+        print(f"error: no {target} under {registry.root}", file=sys.stderr)
+        return 2
+    coverage = record.coverage()
+    if coverage is None:
+        print(
+            f"error: run {record.run_id} recorded no coverage "
+            "(re-run with --coverage)",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"run           : {record.run_id}")
+    print(render_coverage(coverage))
+    return 0
+
+
+def run_serve_status(args: argparse.Namespace) -> int:
+    """``repro serve-status``: read-only JSON over HTTP until interrupted."""
+    from repro.obs.statusd import serve_forever
+
+    registry = RunRegistry(args.registry_root)
+
+    def announce(address: Tuple[str, int]) -> None:
+        print(f"serving run registry {registry.root}")
+        print(f"  http://{address[0]}:{address[1]}/runs")
+
+    try:
+        serve_forever(registry, host=args.host, port=args.port, ready=announce)
+    except OSError as exc:
+        print(f"error: cannot serve status: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def run_trace_report(args: argparse.Namespace) -> int:
@@ -374,16 +658,33 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "trace-report":
         return run_trace_report(args)
+    if args.command == "runs":
+        return run_runs(args)
+    if args.command == "status":
+        return run_status(args)
+    if args.command == "coverage":
+        return run_coverage(args)
+    if args.command == "serve-status":
+        return run_serve_status(args)
     try:
         emitter = _make_emitter(args)
     except OSError as exc:
         print(f"error: cannot open trace output: {exc}", file=sys.stderr)
         return 2
+    run_handle, coverage = _make_run_context(args, argv)
     try:
+        emitter.event(
+            "run_start",
+            command=args.command,
+            workload=getattr(args, "workload", None) or getattr(args, "name", None),
+            algorithm=getattr(args, "algorithm", None),
+            max_depth=getattr(args, "max_depth", None),
+            run_id=run_handle.run_id if run_handle is not None else None,
+        )
         if args.command in ("check", "trace"):
-            result = run_check(args, emitter)
+            result = run_check(args, emitter, run_handle, coverage)
         else:
-            result = run_scenario(args, emitter)
+            result = run_scenario(args, emitter, run_handle, coverage)
         # End-of-run bookkeeping: the merged final counters (which, for a
         # parallel run, only exist after the fan-out) and a closing event,
         # so trace-report always has an authoritative last metric record.
@@ -395,11 +696,26 @@ def main(argv: Optional[list] = None) -> int:
             stop_reason=result.stop_reason,
             bugs=len(result.bugs),
         )
+    except BaseException as exc:
+        if run_handle is not None:
+            run_handle.finish(status="failed", error=repr(exc))
+        raise
     finally:
         emitter.close()
+    if run_handle is not None:
+        run_handle.finish(
+            status="finished",
+            algorithm=result.algorithm,
+            completed=result.completed,
+            stop_reason=result.stop_reason,
+            bugs=len(result.bugs),
+            transitions=result.stats.transitions,
+        )
     print_result(result)
     if getattr(args, "trace_out", None):
         print(f"\ntrace written : {args.trace_out}")
+    if run_handle is not None:
+        print(f"run id        : {run_handle.run_id}")
     return 1 if result.found_bug else 0
 
 

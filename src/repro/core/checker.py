@@ -73,10 +73,18 @@ from repro.model.types import (
     LocalAssertionError,
     NodeId,
 )
-from repro.protocols.common import durable_projection, restart_state
+from repro.protocols.common import (
+    declared_action_names,
+    declared_message_types,
+    durable_projection,
+    restart_state,
+)
 from repro.network.monotonic import MonotonicNetwork, StoredMessage
+from repro.obs.coverage import NULL_COVERAGE, CoverageTracker
 from repro.obs.emitter import NULL_EMITTER, TraceEmitter
 from repro.obs.metrics import RunMetrics
+from repro.obs.progress import estimate_progress
+from repro.obs.registry import RunHandle
 from repro.reports import BugReport, CheckResult
 from repro.stats.counters import ExplorationStats
 from repro.stats.series import DepthSeries
@@ -105,6 +113,8 @@ class LocalModelChecker:
         config: LMCConfig = LMCConfig(),
         emitter: Optional[TraceEmitter] = None,
         metrics_interval: Optional[float] = None,
+        run_handle: Optional[RunHandle] = None,
+        coverage: Optional[CoverageTracker] = None,
     ):
         self.protocol = protocol
         self.invariant = invariant
@@ -116,6 +126,14 @@ class LocalModelChecker:
         #: Wall-clock cadence (seconds) for trace metric samples while the
         #: explored depth is flat; ``None`` samples only on depth growth.
         self.metrics_interval = metrics_interval
+        #: Run-registry handle for cross-process heartbeats ("Live
+        #: operations" in docs/OBSERVABILITY.md); ``None`` disables them.
+        #: A plain attribute: harnesses that build the checker indirectly
+        #: (tools/bench.py) can set it after construction.
+        self.run_handle = run_handle
+        #: Coverage tracker (:mod:`repro.obs.coverage`); ``None`` selects
+        #: the shared zero-overhead null tracker.
+        self.coverage = coverage if coverage is not None else NULL_COVERAGE
         self.algorithm = (
             "LMC-OPT"
             if config.invariant_specific_creation
@@ -124,6 +142,19 @@ class LocalModelChecker:
         )
 
     # -- public API ------------------------------------------------------------
+
+    def coverage_report(self) -> Dict[str, object]:
+        """JSON-ready coverage counters against the protocol's declared universe.
+
+        Meaningful only when the checker was given an enabled
+        :class:`~repro.obs.coverage.CoverageTracker`; with the null tracker
+        all counts are empty.  Accumulates across widened passes — the
+        tracker lives on the checker, not the pass.
+        """
+        return self.coverage.as_dict(
+            declared_messages=declared_message_types(self.protocol),
+            declared_actions=declared_action_names(self.protocol),
+        )
 
     def run(self, initial_system: Optional[SystemState] = None) -> CheckResult:
         """Explore from ``initial_system`` (default: protocol initial state).
@@ -220,8 +251,14 @@ class _ExplorationPass:
             memoize=self.config.memoize_soundness,
             replay_cache_limit=self.config.replay_cache_limit,
         )
+        self.run_handle = checker.run_handle
+        self.coverage = checker.coverage
+        #: Round counter, exposed so heartbeats can report it mid-round.
+        self.round_number = 0
         #: Counter/memory sampling into the depth series and the trace;
-        #: owns the was-ad-hoc "sample when depth grows" bookkeeping.
+        #: owns the was-ad-hoc "sample when depth grows" bookkeeping.  The
+        #: heartbeat hook keeps the interval cadence alive for the run
+        #: registry even when tracing is off.
         self.metrics = RunMetrics(
             self.series,
             self.stats,
@@ -229,6 +266,7 @@ class _ExplorationPass:
             emitter=self.emitter,
             interval=checker.metrics_interval,
             extra=self._metric_gauges,
+            heartbeat=self._heartbeat if self.run_handle is not None else None,
         )
         self.blocked_by_bound = False
         self._blocked_by_depth = False
@@ -291,13 +329,12 @@ class _ExplorationPass:
         """Run rounds to fixpoint, a stop criterion, or a confirmed bug."""
         try:
             self._seed()
-            round_number = 0
             while True:
                 round_start = time.perf_counter()
                 checked_before = self._checking_seconds()
                 transitions_before = self.stats.transitions
-                round_number += 1
-                with self.emitter.span("round", number=round_number) as span:
+                self.round_number += 1
+                with self.emitter.span("round", number=self.round_number) as span:
                     try:
                         executions = self._round()
                         span.add(executions=executions)
@@ -362,7 +399,12 @@ class _ExplorationPass:
                 )
         if self.config.create_system_states:
             self.stats.invariant_checks += 1
-            if not self.invariant.check(self.initial_system):
+            holds = self.invariant.check(self.initial_system)
+            if self.coverage.enabled:
+                self.coverage.note_invariant(
+                    type(self.invariant).__name__, not holds
+                )
+            if not holds:
                 # The live state itself violates: sound by definition.
                 self._report_bug(self.initial_system, trace=())
         self._record_depth_sample(force=True)
@@ -498,6 +540,8 @@ class _ExplorationPass:
             self.stats.history_skips += 1
             return 0
         self._tick_budget()
+        if self.coverage.enabled:
+            self.coverage.note_delivery(type(stored.message.payload).__name__)
         spec = (
             self._speculator.delivery(record, stored)
             if self._speculator is not None
@@ -562,6 +606,8 @@ class _ExplorationPass:
         executions done (always 1).
         """
         self._tick_budget()
+        if self.coverage.enabled:
+            self.coverage.note_action(action.name)
         if spec is not None:
             if spec == "a":
                 self._handle_assertion_failure(record)
@@ -615,6 +661,8 @@ class _ExplorationPass:
         self.stats.transitions += 1
         self.stats.fault_crashes += 1
         self._crashes_executed += 1
+        if self.coverage.enabled:
+            self.coverage.note_fault("crash", record.node)
         if self.emitter.enabled:
             self.emitter.event(
                 "fault", kind="crash", node=record.node, depth=record.depth
@@ -652,6 +700,8 @@ class _ExplorationPass:
             ehash = None
         self.stats.transitions += 1
         self.stats.fault_restarts += 1
+        if self.coverage.enabled:
+            self.coverage.note_fault("restart", record.node)
         if self.emitter.enabled:
             self.emitter.event(
                 "fault", kind="restart", node=record.node, depth=record.depth
@@ -832,14 +882,23 @@ class _ExplorationPass:
                         self.space, new_record.node, new_record
                     )
                 for checked, combo in enumerate(combos):
-                    if checked % 64 == 63 and self.clock.out_of_time():
-                        raise _StopSearch(
-                            "time budget exhausted", completed=False
-                        )
+                    if checked % 64 == 63:
+                        if self.clock.out_of_time():
+                            raise _StopSearch(
+                                "time budget exhausted", completed=False
+                            )
+                        # Soundness enumeration dominates hard rounds; keep
+                        # the live heartbeat cadence alive from inside it.
+                        self.metrics.pulse(self.explored_depth)
                     self.stats.system_states_created += 1
                     system = combination_to_system_state(combo)
                     self.stats.invariant_checks += 1
-                    if self.invariant.check(system):
+                    holds = self.invariant.check(system)
+                    if self.coverage.enabled:
+                        self.coverage.note_invariant(
+                            type(self.invariant).__name__, not holds
+                        )
+                    if holds:
                         continue
                     self.stats.preliminary_violations += 1
                     self._verify_and_report(combo, system)
@@ -865,7 +924,10 @@ class _ExplorationPass:
         """
         assert isinstance(self.invariant, LocalInvariant)
         self.stats.invariant_checks += 1
-        if self.invariant.check_local(new_record.node, new_record.state):
+        holds = self.invariant.check_local(new_record.node, new_record.state)
+        if self.coverage.enabled:
+            self.coverage.note_invariant(type(self.invariant).__name__, not holds)
+        if holds:
             return
         self.stats.preliminary_violations += 1
         if not self.config.verify_soundness:
@@ -881,8 +943,10 @@ class _ExplorationPass:
         ):
             if cap is not None and tried >= cap:
                 return
-            if tried % 16 == 15 and self.clock.out_of_time():
-                raise _StopSearch("time budget exhausted", completed=False)
+            if tried % 16 == 15:
+                if self.clock.out_of_time():
+                    raise _StopSearch("time budget exhausted", completed=False)
+                self.metrics.pulse(self.explored_depth)
             self.stats.system_states_created += 1
             self._verify_and_report(combo, combination_to_system_state(combo))
             if len(self.bugs) > bugs_before:
@@ -1048,8 +1112,10 @@ class _ExplorationPass:
             and self.space.total_states() >= budget.max_states
         ):
             raise _StopSearch("state budget exhausted", completed=False)
-        if executed % _BUDGET_CHECK_INTERVAL == 0 and self.clock.out_of_time():
-            raise _StopSearch("time budget exhausted", completed=False)
+        if executed % _BUDGET_CHECK_INTERVAL == 0:
+            if self.clock.out_of_time():
+                raise _StopSearch("time budget exhausted", completed=False)
+            self.metrics.pulse(self.explored_depth)
 
     def explored_depth(self) -> int:
         """Length of the longest combined event sequence explored so far."""
@@ -1061,6 +1127,57 @@ class _ExplorationPass:
             "node_states": self.space.total_states(),
             "memory_bytes": self._retained_bytes + self.network.retained_bytes(),
         }
+
+    def _frontier_size(self) -> int:
+        """Pending executions the cursors have not reached yet.
+
+        Sums, per node, the records the local-event sweep has not expanded
+        plus — per stored message — the destination records it has not been
+        delivered to.  An O(nodes + messages) walk, run only on the
+        heartbeat cadence.
+        """
+        pending = 0
+        for node in self.space.node_ids:
+            store_len = len(self.space.store(node))
+            pending += store_len - self._local_cursor.get(node, 0)
+            for stored in self.network.for_destination(node):
+                pending += max(0, store_len - stored.cursor)
+        return pending
+
+    def _heartbeat(
+        self,
+        depth: int,
+        elapsed: float,
+        metrics: Dict[str, float],
+        force: bool = False,
+    ) -> None:
+        """Publish a registry heartbeat snapshot (docs/OBSERVABILITY.md).
+
+        Runs on the metrics cadence only when a :class:`RunHandle` is
+        attached, so plain runs never pay for it.  The snapshot carries the
+        sampled counters plus live-only gauges (round, frontier) and the
+        progress/ETA estimate fitted from the depth series so far.
+        """
+        handle = self.run_handle
+        if handle is None:
+            return
+        snapshot: Dict[str, object] = dict(metrics)
+        snapshot["depth"] = depth
+        snapshot["elapsed_s"] = elapsed
+        snapshot["round"] = self.round_number
+        snapshot["frontier"] = self._frontier_size()
+        snapshot["algorithm"] = self.checker.algorithm
+        points = [
+            (sample.depth, sample.elapsed_s, sample.get("transitions"))
+            for sample in self.series.samples
+        ]
+        points.append((depth, elapsed, float(self.stats.transitions)))
+        estimate = estimate_progress(points, self.budget.max_depth)
+        if estimate is not None:
+            snapshot["progress"] = estimate.as_dict()
+        if handle.heartbeat(snapshot, force=force) and self.coverage.enabled:
+            handle.write_coverage(self.checker.coverage_report())
+
 
     def _record_depth_sample(self, force: bool = False) -> None:
         """Sample counters via :class:`~repro.obs.metrics.RunMetrics`.

@@ -51,7 +51,9 @@ from repro.invariants.base import Invariant
 from repro.model.events import Event
 from repro.model.protocol import Protocol
 from repro.model.system_state import SystemState
+from repro.obs.coverage import NULL_COVERAGE
 from repro.obs.emitter import NULL_EMITTER, TraceEmitter
+from repro.protocols.common import declared_action_names, declared_message_types
 from repro.reports import BugReport, CheckResult
 from repro.stats.counters import ExplorationStats
 
@@ -291,6 +293,8 @@ class ParallelLocalModelChecker:
         workers: Optional[int] = 0,
         emitter: Optional[TraceEmitter] = None,
         metrics_interval: Optional[float] = None,
+        run_handle=None,
+        coverage=None,
     ):
         self.protocol = protocol
         self.invariant = invariant
@@ -298,6 +302,10 @@ class ParallelLocalModelChecker:
         self.workers = workers
         self.emitter = emitter if emitter is not None else NULL_EMITTER
         self.metrics_interval = metrics_interval
+        #: Registry handle and coverage tracker, passed through to the inner
+        #: exploration checker (docs/OBSERVABILITY.md "Live operations").
+        self.run_handle = run_handle
+        self.coverage = coverage
         # Exploration collects; verification is ours.
         self.config = LMCConfig(
             **{
@@ -308,6 +316,14 @@ class ParallelLocalModelChecker:
         )
         self._report_config = config
         self.algorithm = "LMC-parallel"
+
+    def coverage_report(self):
+        """JSON-ready coverage counters (see :meth:`LocalModelChecker.coverage_report`)."""
+        tracker = self.coverage if self.coverage is not None else NULL_COVERAGE
+        return tracker.as_dict(
+            declared_messages=declared_message_types(self.protocol),
+            declared_actions=declared_action_names(self.protocol),
+        )
 
     def run(self, initial_system: Optional[SystemState] = None) -> CheckResult:
         """Explore, then verify collected violations across the pool.
@@ -331,6 +347,8 @@ class ParallelLocalModelChecker:
             self.config,
             emitter=self.emitter,
             metrics_interval=self.metrics_interval,
+            run_handle=self.run_handle,
+            coverage=self.coverage,
         )
         clock = BudgetClock(self.budget)
         pass_run = _ExplorationPass(checker, initial_system, clock, None)

@@ -16,6 +16,16 @@ on a *live* run instead of only after it ends:
 * :mod:`repro.obs.report` — loads a trace file back and renders the
   Fig. 13 overhead breakdown and the §5.4 soundness profile as tables
   (the ``repro trace-report`` subcommand).
+* :mod:`repro.obs.registry` — durable per-run records under
+  ``.lmc/runs/<run_id>/`` with atomic heartbeat snapshots, readable from
+  other processes (``repro runs`` / ``repro status``).
+* :mod:`repro.obs.progress` — fits frontier growth per depth and turns it
+  into a fraction-done / ETA estimate for depth-bounded runs.
+* :mod:`repro.obs.coverage` — per-handler / message-type / invariant /
+  fault exercise counts, with unexercised-transition detection against a
+  protocol's declared universe (``repro coverage``).
+* :mod:`repro.obs.statusd` — a read-only stdlib HTTP endpoint over the
+  run registry (``repro serve-status``).
 
 See ``docs/OBSERVABILITY.md`` for the record schema and a worked example.
 """
@@ -28,21 +38,33 @@ from repro.obs.emitter import (
     NullEmitter,
     TraceEmitter,
 )
+from repro.obs.coverage import NULL_COVERAGE, CoverageTracker, render_coverage
 from repro.obs.metrics import RunMetrics, rss_bytes
 from repro.obs.profiling import overhead_breakdown, phase_timer
+from repro.obs.progress import ProgressEstimate, estimate_progress, format_eta
+from repro.obs.registry import RunHandle, RunRecord, RunRegistry
 from repro.obs.report import TraceSummary, load_trace
 
 __all__ = [
     "CallbackEmitter",
+    "CoverageTracker",
     "JsonlEmitter",
     "MemoryEmitter",
+    "NULL_COVERAGE",
     "NULL_EMITTER",
     "NullEmitter",
+    "ProgressEstimate",
+    "RunHandle",
     "RunMetrics",
+    "RunRecord",
+    "RunRegistry",
     "TraceEmitter",
     "TraceSummary",
+    "estimate_progress",
+    "format_eta",
     "load_trace",
     "overhead_breakdown",
     "phase_timer",
+    "render_coverage",
     "rss_bytes",
 ]

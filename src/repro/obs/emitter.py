@@ -259,7 +259,10 @@ class JsonlEmitter(TraceEmitter):
             self.path: Optional[str] = getattr(path_or_file, "name", None)
         else:
             self.path = os.fspath(path_or_file)
-            self._file = open(self.path, "w", encoding="utf-8")
+            # Line buffering: each record reaches the OS as one whole line,
+            # so a killed run truncates at most the final record — which the
+            # trace readers tolerate (see repro.obs.report.load_trace).
+            self._file = open(self.path, "w", encoding="utf-8", buffering=1)
             self._owns_file = True
         super().__init__()
 

@@ -62,6 +62,14 @@ class RunMetrics:
     extra:
         Zero-argument callable contributing additional gauge fields to each
         sample (e.g. ``node_states``, ``memory_bytes``).
+    heartbeat:
+        Callable receiving ``(depth, elapsed_s, metrics, force)`` on every
+        taken sample — the run registry's hook (docs/OBSERVABILITY.md "Live
+        operations"); ``force`` marks the seed and end-of-run samples that
+        must reach disk past any rate limiting.  A heartbeat sink keeps the
+        ``interval`` cadence alive even when tracing is off, but never
+        touches the depth series or the trace, so results stay
+        byte-identical with it absent.
     """
 
     def __init__(
@@ -72,6 +80,7 @@ class RunMetrics:
         emitter: TraceEmitter = NULL_EMITTER,
         interval: Optional[float] = None,
         extra: Optional[Callable[[], Dict[str, float]]] = None,
+        heartbeat: Optional[Callable[[int, float, Dict[str, float], bool], None]] = None,
     ):
         self.series = series
         self.stats = stats
@@ -79,8 +88,45 @@ class RunMetrics:
         self.emitter = emitter
         self.interval = interval
         self.extra = extra
+        self.heartbeat = heartbeat
         self._last_depth = -1
         self._last_emit = float("-inf")
+
+    def pulse(self, get_depth: Callable[[], int]) -> bool:
+        """Interval-cadence emission from *inside* a long round.
+
+        Exploration rounds grow with the frontier, so the round-boundary
+        :meth:`sample` calls can be minutes apart on hard workloads — a
+        live status reader would see nothing but the seed snapshot.  This
+        hook emits a trace metric and/or heartbeat whenever the wall-clock
+        cadence is due, but never touches the depth series: mid-round
+        depths are provisional, and the Fig. 10–13 series must stay keyed
+        to round boundaries exactly as without observability.
+
+        ``get_depth`` is called only once a sample is actually due, so the
+        common case costs two attribute checks and a clock read.  Returns
+        True when a sample was emitted.
+        """
+        if self.interval is None:
+            return False
+        if not self.emitter.enabled and self.heartbeat is None:
+            return False
+        elapsed = self.elapsed()
+        if elapsed - self._last_emit < self.interval:
+            return False
+        depth = get_depth()
+        metrics = self.stats.snapshot()
+        if self.extra is not None:
+            metrics.update(self.extra())
+        rss = rss_bytes()
+        if rss is not None:
+            metrics["rss_bytes"] = rss
+        if self.emitter.enabled:
+            self.emitter.metric(depth=depth, elapsed_s=elapsed, **metrics)
+        if self.heartbeat is not None:
+            self.heartbeat(depth, elapsed, metrics, False)
+        self._last_emit = elapsed
+        return True
 
     def sample(self, depth: int, force: bool = False) -> bool:
         """Take a sample at ``depth`` if anything warrants one.
@@ -94,7 +140,7 @@ class RunMetrics:
         elapsed = self.elapsed()
         interval_due = (
             self.interval is not None
-            and self.emitter.enabled
+            and (self.emitter.enabled or self.heartbeat is not None)
             and elapsed - self._last_emit >= self.interval
         )
         if not (depth_grew or force or interval_due):
@@ -115,5 +161,8 @@ class RunMetrics:
             self.series.record_or_update(depth, elapsed, metrics)
         if self.emitter.enabled:
             self.emitter.metric(depth=depth, elapsed_s=elapsed, **metrics)
+        if self.heartbeat is not None:
+            self.heartbeat(depth, elapsed, metrics, force)
+        if self.emitter.enabled or self.heartbeat is not None:
             self._last_emit = elapsed
         return True

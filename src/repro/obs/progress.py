@@ -1,0 +1,167 @@
+"""Progress and ETA estimation from the per-depth work series.
+
+The state spaces LMC explores grow (roughly) geometrically with depth — the
+paper's Fig. 10/11 curves are straight lines on a log axis — which makes a
+useful forward model cheap: fit ``log(cumulative work)`` against depth by
+least squares, read the per-depth growth factor off the slope, and
+extrapolate the remaining work of a depth-bounded run.  Combined with the
+observed work rate (transitions per wall second so far) that yields an ETA.
+
+Everything here is a pure function of the depth series the checkers already
+record (:class:`~repro.stats.series.DepthSeries` feeds the Fig. 10–13
+benches), so the same numbers appear consistently in heartbeats
+(:mod:`repro.obs.registry`), ``repro status``, and the ``trace-report``
+growth section — and are deterministic for tests.
+
+The model is honest about its limits: with fewer than two distinct depths
+there is no slope and only the raw fraction-of-depth is reported; when the
+fit says the space has stopped growing (factor ≤ 1) extrapolation falls
+back to linear; unbounded runs get the growth factor but no ETA — without
+a target depth "remaining" is undefined.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: A progress observation: (depth, elapsed wall seconds, cumulative work).
+#: "Work" is whichever monotone counter the caller trusts — the checkers
+#: use executed transitions.
+Sample = Tuple[int, float, float]
+
+#: Growth factors this close to 1.0 extrapolate linearly: the exponential
+#: formula divides by (b - 1) and a near-flat fit means the frontier has
+#: saturated, where linear is the better model anyway.
+_FLAT_FACTOR = 1.001
+
+
+@dataclass(frozen=True)
+class ProgressEstimate:
+    """A point-in-time progress judgement for one run."""
+
+    #: Deepest combined depth observed.
+    depth: int
+    #: The run's depth bound, when it has one.
+    max_depth: Optional[int]
+    #: Cumulative work observed (transitions so far).
+    work_done: float
+    #: Observed work rate (work per wall second), None before any elapsed time.
+    rate_per_s: Optional[float]
+    #: Fitted per-depth growth factor of cumulative work (None: no fit yet).
+    growth_factor: Optional[float]
+    #: Predicted work still ahead of the run (depth-bounded runs only).
+    work_remaining: Optional[float]
+    #: ``work_done / (work_done + work_remaining)`` when predictable.
+    fraction_done: Optional[float]
+    #: Predicted seconds to completion (depth-bounded runs with a rate).
+    eta_s: Optional[float]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, as embedded in heartbeats."""
+        return {
+            "depth": self.depth,
+            "max_depth": self.max_depth,
+            "work_done": self.work_done,
+            "rate_per_s": self.rate_per_s,
+            "growth_factor": self.growth_factor,
+            "work_remaining": self.work_remaining,
+            "fraction_done": self.fraction_done,
+            "eta_s": self.eta_s,
+        }
+
+
+def fit_growth_factor(samples: Sequence[Sample]) -> Optional[float]:
+    """Least-squares fit of ``log(work)`` vs depth → per-depth growth factor.
+
+    Needs at least two distinct depths with positive work; returns None
+    otherwise.  The factor is ``exp(slope)``: cumulative work multiplies by
+    it per unit of combined depth.
+    """
+    points: List[Tuple[float, float]] = []
+    seen_depths = set()
+    for depth, _elapsed, work in samples:
+        if work > 0 and depth not in seen_depths:
+            seen_depths.add(depth)
+            points.append((float(depth), math.log(work)))
+    if len(points) < 2:
+        return None
+    n = len(points)
+    mean_x = sum(x for x, _y in points) / n
+    mean_y = sum(y for _x, y in points) / n
+    var_x = sum((x - mean_x) ** 2 for x, _y in points)
+    if var_x == 0.0:
+        return None
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in points) / var_x
+    return math.exp(slope)
+
+
+def _predict_remaining(
+    work_done: float, depth: int, max_depth: int, factor: Optional[float]
+) -> Optional[float]:
+    """Work predicted between ``depth`` and ``max_depth`` under the fit.
+
+    Geometric model: cumulative work at the bound is ``W · b^(D-d)``, so the
+    remainder is ``W · (b^(D-d) − 1)``.  A flat or missing fit degrades to
+    the linear reading (current per-depth average times depths left).
+    """
+    levels_left = max_depth - depth
+    if levels_left <= 0:
+        return 0.0
+    if factor is not None and factor > _FLAT_FACTOR:
+        return work_done * (factor ** levels_left - 1.0)
+    if depth <= 0:
+        return None
+    return (work_done / depth) * levels_left
+
+
+def estimate_progress(
+    samples: Sequence[Sample], max_depth: Optional[int]
+) -> Optional[ProgressEstimate]:
+    """Estimate progress/ETA from a depth-ordered work series.
+
+    ``samples`` is typically the depth series plus the live in-flight
+    point; the last sample is taken as "now".  Returns None when there is
+    nothing to estimate from (no samples at all).
+    """
+    if not samples:
+        return None
+    depth, elapsed, work_done = samples[-1]
+    factor = fit_growth_factor(samples)
+    rate = (work_done / elapsed) if elapsed > 0 and work_done > 0 else None
+    work_remaining: Optional[float] = None
+    fraction: Optional[float] = None
+    eta: Optional[float] = None
+    if max_depth is not None:
+        work_remaining = _predict_remaining(work_done, depth, max_depth, factor)
+        if work_remaining is not None:
+            total = work_done + work_remaining
+            fraction = (work_done / total) if total > 0 else 1.0
+            if rate is not None:
+                eta = work_remaining / rate
+    return ProgressEstimate(
+        depth=depth,
+        max_depth=max_depth,
+        work_done=work_done,
+        rate_per_s=rate,
+        growth_factor=factor,
+        work_remaining=work_remaining,
+        fraction_done=fraction,
+        eta_s=eta,
+    )
+
+
+def format_eta(seconds: Optional[float]) -> str:
+    """Human-readable ETA (``-`` when unknown)."""
+    if seconds is None:
+        return "-"
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

@@ -24,28 +24,42 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.obs.profiling import overhead_breakdown
+from repro.obs.progress import ProgressEstimate, estimate_progress, format_eta
 from repro.stats.reporting import format_table
 
 #: Span names counted into the §5.4 soundness profile.
 _SOUNDNESS_SPANS = ("soundness", "worker_verify")
 
 
-def load_trace(path: str) -> List[Dict[str, Any]]:
+def load_trace(
+    path: str, tolerate_truncated_tail: bool = True
+) -> List[Dict[str, Any]]:
     """Parse a JSONL trace file into record dicts, in file order.
 
     Blank lines are skipped; a malformed line raises ``ValueError`` naming
-    its line number (truncated traces from killed runs fail loudly).
+    its line number — except, by default, when it is the file's *final*
+    non-blank line.  A process killed mid-write leaves exactly one
+    truncated record at the tail, and a trace that ends that way is still
+    worth reporting on; a malformed line anywhere earlier is corruption
+    and still fails loudly.
     """
-    records: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: malformed trace record: {exc}")
+        lines = handle.readlines()
+    last_content = 0
+    for lineno, line in enumerate(lines, start=1):
+        if line.strip():
+            last_content = lineno
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if tolerate_truncated_tail and lineno == last_content:
+                break
+            raise ValueError(f"{path}:{lineno}: malformed trace record: {exc}")
     return records
 
 
@@ -117,6 +131,35 @@ class TraceSummary:
             "avg_ms": (total_s / calls * 1000.0) if calls else 0.0,
             "sequences": sequences,
         }
+
+    def progress_profile(self) -> Optional[ProgressEstimate]:
+        """Frontier-growth fit over the trace's metric samples.
+
+        Rebuilds the same :func:`~repro.obs.progress.estimate_progress`
+        model the live heartbeats carry, from the per-depth ``metric``
+        records (depth, elapsed, transitions) and the depth bound the
+        ``run_start`` event advertised.  For a trace from a killed run —
+        where no final counters exist — this is the report's forecast of
+        what the run still had ahead of it.
+        """
+        samples = []
+        for record in self.records:
+            if record.get("kind") != "metric":
+                continue
+            fields = record.get("fields", {})
+            depth = fields.get("depth")
+            work = fields.get("transitions")
+            if depth is None or work is None:
+                continue
+            samples.append(
+                (int(depth), float(fields.get("elapsed_s", 0.0)), float(work))
+            )
+        max_depth: Optional[int] = None
+        for event in self.events("run_start"):
+            bound = event.get("fields", {}).get("max_depth")
+            if bound is not None:
+                max_depth = int(bound)
+        return estimate_progress(samples, max_depth)
 
     def worker_profile(self) -> List[Dict[str, Any]]:
         """Per-process totals over forwarded ``worker_verify`` spans."""
@@ -209,6 +252,32 @@ class TraceSummary:
                         )
                     ],
                 )
+            )
+
+        estimate = self.progress_profile()
+        if estimate is not None and estimate.growth_factor is not None:
+            finished = bool(self.events("run_end"))
+            progress_rows = [
+                ("deepest depth", estimate.depth),
+                ("depth bound", estimate.max_depth or "-"),
+                ("growth per depth", f"x{estimate.growth_factor:.2f}"),
+                (
+                    "rate",
+                    f"{estimate.rate_per_s:.0f} transitions/s"
+                    if estimate.rate_per_s
+                    else "-",
+                ),
+            ]
+            if not finished and estimate.max_depth is not None:
+                # Only a truncated trace still has a future to forecast.
+                if estimate.fraction_done is not None:
+                    progress_rows.append(
+                        ("est. fraction done", f"{estimate.fraction_done * 100:.1f}%")
+                    )
+                progress_rows.append(("est. remaining", format_eta(estimate.eta_s)))
+            sections.append(
+                "Progress & growth model\n"
+                + format_table(["quantity", "value"], progress_rows)
             )
 
         span_rows = self._span_rows()

@@ -1,0 +1,121 @@
+"""Read-only HTTP status endpoint over the run registry (stdlib only).
+
+``repro serve-status`` exposes the registry's view of every run as JSON so
+dashboards, curl, or a colleague's browser can watch a long check without
+touching the checker process:
+
+``GET /``, ``GET /runs``
+    Summary list: one object per run with id, status, command, workload,
+    algorithm, depth, and the progress estimate from the latest heartbeat.
+``GET /runs/<run_id>``
+    The full :meth:`~repro.obs.registry.RunRecord.as_dict` payload —
+    meta, latest heartbeat, result.
+``GET /runs/<run_id>/coverage``
+    The run's coverage report (404 when coverage accounting was off).
+
+The server is deliberately read-only (GET only, no mutation endpoints) and
+re-reads the registry files on every request — heartbeats are atomic whole
+file replaces, so responses are always internally consistent.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.registry import RunRecord, RunRegistry
+
+
+def run_summary(record: RunRecord) -> Dict[str, Any]:
+    """The list-endpoint view of one run: the fields an overview needs."""
+    heartbeat = record.heartbeat or {}
+    return {
+        "run_id": record.run_id,
+        "status": record.status(),
+        "command": record.meta.get("command"),
+        "workload": record.meta.get("workload"),
+        "algorithm": record.meta.get("algorithm"),
+        "started": record.meta.get("started"),
+        "heartbeat_age_s": record.heartbeat_age_s(),
+        "depth": heartbeat.get("depth"),
+        "round": heartbeat.get("round"),
+        "transitions": heartbeat.get("transitions"),
+        "progress": heartbeat.get("progress"),
+    }
+
+
+class StatusRequestHandler(BaseHTTPRequestHandler):
+    """One GET-only handler; the registry root rides on the server object."""
+
+    server_version = "repro-status/1"
+
+    def _respond(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True, default=str).encode(
+            "utf-8"
+        )
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        registry: RunRegistry = self.server.registry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path in ("", "/runs"):
+            self._respond(
+                200, [run_summary(record) for record in registry.list_runs()]
+            )
+            return
+        if path.startswith("/runs/"):
+            parts = path[len("/runs/") :].split("/")
+            record = registry.load(parts[0])
+            if record is None:
+                self._respond(404, {"error": f"unknown run {parts[0]!r}"})
+                return
+            if len(parts) == 1:
+                self._respond(200, record.as_dict())
+                return
+            if len(parts) == 2 and parts[1] == "coverage":
+                coverage = record.coverage()
+                if coverage is None:
+                    self._respond(
+                        404, {"error": "no coverage recorded for this run"}
+                    )
+                    return
+                self._respond(200, coverage)
+                return
+        self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr chatter; the CLI prints the endpoint."""
+
+
+def make_server(
+    registry: RunRegistry, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the status server; port 0 picks a free one."""
+    server = ThreadingHTTPServer((host, port), StatusRequestHandler)
+    server.registry = registry  # type: ignore[attr-defined]
+    return server
+
+
+def serve_forever(
+    registry: RunRegistry,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    ready: Optional[Any] = None,
+) -> Tuple[str, int]:
+    """Run the status server until interrupted (the ``serve-status`` loop)."""
+    server = make_server(registry, host, port)
+    address = server.server_address[:2]
+    if ready is not None:
+        ready(address)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return address

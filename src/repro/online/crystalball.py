@@ -68,6 +68,7 @@ class OnlineModelChecker:
         check_interval: float = 60.0,
         interval_hook: Optional[IntervalHook] = None,
         emitter: Optional[TraceEmitter] = None,
+        run_handle=None,
     ):
         if check_interval <= 0:
             raise ValueError("check_interval must be positive")
@@ -79,6 +80,10 @@ class OnlineModelChecker:
         #: (nesting the checker's own spans when the factory shares the
         #: emitter), and a confirmed detection a ``detection`` event.
         self.emitter = emitter if emitter is not None else NULL_EMITTER
+        #: Run-registry handle (docs/OBSERVABILITY.md "Live operations"):
+        #: the online loop heartbeats once per restart — simulated time,
+        #: restart count, and the last restart's checker summary.
+        self.run_handle = run_handle
 
     def run(
         self,
@@ -107,6 +112,20 @@ class OnlineModelChecker:
             wall = time.perf_counter() - started
             outcome.restarts += 1
             outcome.total_checking_seconds += wall
+            if self.run_handle is not None:
+                self.run_handle.heartbeat(
+                    {
+                        "sim_time": self.live.now,
+                        "restarts": outcome.restarts,
+                        "checking_seconds": outcome.total_checking_seconds,
+                        "node_states": result.stats.node_states,
+                        "transitions": result.stats.transitions,
+                        "preliminary_violations": (
+                            result.stats.preliminary_violations
+                        ),
+                        "found_bug": result.found_bug,
+                    }
+                )
             outcome.history.append(
                 RestartRecord(
                     sim_time=self.live.now,

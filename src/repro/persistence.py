@@ -17,10 +17,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
-import tempfile
 from typing import Any, Dict, Iterable, List, Tuple, Type
 
+from repro.fsio import atomic_write_json
 from repro.model.events import CrashEvent, DeliveryEvent, Event, InternalEvent, RestartEvent
 from repro.model.system_state import SystemState
 from repro.model.types import Action, Message
@@ -219,28 +218,14 @@ def save_bugs(path: str, bugs: Iterable[BugReport]) -> None:
     """Write a bug corpus to ``path`` as JSON, atomically.
 
     The corpus is a regression archive — a crash mid-dump must never
-    truncate it.  The payload is therefore written to a same-directory
-    temporary file, flushed and fsynced, then renamed over ``path`` with
-    :func:`os.replace` (atomic on POSIX within one filesystem): readers see
-    either the complete old corpus or the complete new one, never a prefix.
+    truncate it.  Durability comes from the shared
+    :func:`repro.fsio.atomic_write_json` helper (same-directory temp file,
+    fsync, then :func:`os.replace` — atomic on POSIX within one
+    filesystem): readers see either the complete old corpus or the complete
+    new one, never a prefix.
     """
     payload = {"version": 1, "bugs": [bug_to_dict(bug) for bug in bugs]}
-    directory = os.path.dirname(os.path.abspath(path))
-    descriptor, temp_path = tempfile.mkstemp(
-        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(descriptor, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp_path, path)
-    except BaseException:
-        try:
-            os.unlink(temp_path)
-        except OSError:
-            pass
-        raise
+    atomic_write_json(path, payload, indent=2, sort_keys=True)
 
 
 def load_bugs(path: str, registry: ClassRegistry) -> List[BugReport]:

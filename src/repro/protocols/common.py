@@ -17,6 +17,17 @@ optional methods::
 methods and default to the *all-volatile* semantics — nothing survives a
 crash and a restarted node boots from its initial state — so existing
 protocols need no change to run under fault schedules.
+
+The **coverage contract** (docs/OBSERVABILITY.md "Live operations") works
+the same way: a protocol may declare its full handler universe with two
+optional methods::
+
+    def coverage_message_types(self):  # -> tuple of payload type names
+    def coverage_action_names(self):   # -> tuple of action names
+
+:func:`declared_message_types` and :func:`declared_action_names` dispatch
+to them, returning ``None`` for protocols that declare nothing — coverage
+reports then show exercised handlers only, with no unexercised analysis.
 """
 
 from __future__ import annotations
@@ -55,6 +66,33 @@ def restart_state(protocol: Any, node: NodeId, durable: Any) -> Any:
     if hook is None:
         return protocol.initial_state(node)
     return hook(node, durable)
+
+
+def declared_message_types(protocol: Any) -> Optional[Tuple[str, ...]]:
+    """Message payload type names the protocol declares as its universe.
+
+    Dispatches to the optional ``coverage_message_types()`` method; ``None``
+    (no declaration) means coverage reports cannot know what was *missed*,
+    only what ran.  Names are payload ``type(...).__name__`` strings —
+    exactly what the coverage tracker records.
+    """
+    hook = getattr(protocol, "coverage_message_types", None)
+    if hook is None:
+        return None
+    return tuple(hook())
+
+
+def declared_action_names(protocol: Any) -> Optional[Tuple[str, ...]]:
+    """Internal action names the protocol declares as its universe.
+
+    Dispatches to the optional ``coverage_action_names()`` method; same
+    semantics as :func:`declared_message_types`.
+    """
+    hook = getattr(protocol, "coverage_action_names", None)
+    if hook is None:
+        return None
+    return tuple(hook())
+
 
 #: A sorted immutable mapping as a tuple of (key, value) pairs.
 TupleMap = Tuple[Tuple[Any, Any], ...]

@@ -117,6 +117,25 @@ class PaxosProtocol(Protocol):
         """
         return replace(self.initial_state(node), acceptors=durable or ())
 
+    # -- coverage contract (docs/OBSERVABILITY.md "Live operations") ----------
+
+    def coverage_message_types(self) -> Tuple[str, ...]:
+        """The full message-handler universe, for coverage accounting."""
+        return ("Prepare", "PrepareResponse", "Accept", "Learn")
+
+    def coverage_action_names(self) -> Tuple[str, ...]:
+        """The explorable internal-action universe.
+
+        ``inject`` is deliberately absent: it is a live-run driver call the
+        checker never explores (see :meth:`_inject`), so listing it would
+        flag a false gap in every coverage report.  ``retry`` appears only
+        when retransmission is configured on.
+        """
+        names = ("init", "propose")
+        if self.retransmit:
+            names += ("retry",)
+        return names
+
     def enabled_actions(self, state: PaxosNodeState) -> Tuple[Action, ...]:
         if not state.initialized:
             return (Action(node=state.node, name="init"),)

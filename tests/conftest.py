@@ -8,6 +8,19 @@ happen once per session and are shared read-only.
 import pytest
 
 from repro.core.checker import LocalModelChecker
+from repro.obs.registry import RUNS_ROOT_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_root(monkeypatch, tmp_path_factory):
+    """Point the run registry at a per-test temp root.
+
+    CLI runs register themselves by default; without this every test that
+    calls ``main`` would drop ``.lmc/runs`` directories into the repo.
+    """
+    monkeypatch.setenv(
+        RUNS_ROOT_ENV, str(tmp_path_factory.mktemp("lmc-runs"))
+    )
 from repro.core.config import LMCConfig
 from repro.explore.budget import SearchBudget
 from repro.explore.global_checker import GlobalModelChecker

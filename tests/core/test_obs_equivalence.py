@@ -1,0 +1,136 @@
+"""Observability on vs off must be observationally identical.
+
+The run registry, heartbeats, and coverage accounting (docs/OBSERVABILITY.md
+"Live operations") are instrumentation only: every counter, verdict, and
+witness trace must be byte-identical with them enabled — the same gate the
+PR 3 cache work and the PR 4 fault scheduler hold themselves to.
+"""
+
+import pytest
+
+from repro.core.checker import LocalModelChecker
+from repro.core.config import LMCConfig
+from repro.core.parallel import ParallelLocalModelChecker
+from repro.explore.budget import SearchBudget
+from repro.obs.coverage import CoverageTracker
+from repro.obs.registry import RunRegistry
+from repro.protocols.onepaxos import OnePaxosAgreement
+from repro.protocols.onepaxos import scenarios as onepaxos_scenarios
+from repro.protocols.paxos import PaxosAgreement
+from repro.protocols.paxos.scenarios import partial_choice_state, scenario_protocol
+
+#: Phase timers are wall-clock and excluded, as in the cache-equivalence gate.
+EXCLUDED_KEYS = ("phase_",)
+
+
+def _observable(result):
+    counts = {
+        key: value
+        for key, value in result.stats.snapshot().items()
+        if not key.startswith(EXCLUDED_KEYS)
+    }
+    return {
+        "counts": counts,
+        "completed": result.completed,
+        "stop_reason": result.stop_reason,
+        "bugs": [bug.description for bug in result.bugs],
+        "traces": [bug.trace_lines() for bug in result.bugs],
+    }
+
+
+def _paxos_s55():
+    protocol = scenario_protocol(buggy=True)
+    return protocol, PaxosAgreement(0), partial_choice_state()
+
+
+def _onepaxos_s56():
+    protocol = onepaxos_scenarios.scenario_protocol(buggy=True)
+    return (
+        protocol,
+        OnePaxosAgreement(0),
+        onepaxos_scenarios.post_leaderchange_state(protocol),
+    )
+
+
+def _instrumented_kwargs(tmp_path, interval):
+    handle = RunRegistry(str(tmp_path)).register(
+        "test", workload="scenario", algorithm="lmc-opt"
+    )
+    # Zero min_interval so every sample really writes a heartbeat — the
+    # harshest instrumentation the registry can apply.
+    handle.min_interval = 0.0
+    return {
+        "run_handle": handle,
+        "coverage": CoverageTracker(),
+        "metrics_interval": interval,
+    }
+
+
+@pytest.mark.parametrize("scenario", [_paxos_s55, _onepaxos_s56], ids=["s55", "s56"])
+def test_local_checker_identical_with_observability_on(scenario, tmp_path):
+    protocol, invariant, initial = scenario()
+
+    def run(**kwargs):
+        return LocalModelChecker(
+            protocol, invariant, config=LMCConfig.optimized(), **kwargs
+        ).run(initial)
+
+    plain = run()
+    instrumented = run(**_instrumented_kwargs(tmp_path, interval=0.001))
+    assert plain.found_bug and instrumented.found_bug
+    assert _observable(plain) == _observable(instrumented)
+
+
+def test_parallel_checker_identical_with_observability_on(tmp_path):
+    protocol, invariant, initial = _paxos_s55()
+    budget = SearchBudget(max_transitions=400)
+    config = LMCConfig.optimized(max_collected_preliminary=64)
+
+    def run(**kwargs):
+        return ParallelLocalModelChecker(
+            protocol, invariant, budget=budget, config=config, workers=0, **kwargs
+        ).run(initial)
+
+    plain = run()
+    instrumented = run(**_instrumented_kwargs(tmp_path, interval=0.001))
+    assert _observable(plain) == _observable(instrumented)
+
+
+def test_depth_series_identical_with_observability_on(tmp_path):
+    """The Fig. 10-13 series must not shift under heartbeat sampling."""
+    protocol, invariant, initial = _paxos_s55()
+
+    def run(**kwargs):
+        return LocalModelChecker(
+            protocol, invariant, config=LMCConfig.optimized(), **kwargs
+        ).run(initial)
+
+    plain = run()
+    instrumented = run(**_instrumented_kwargs(tmp_path, interval=0.001))
+    assert plain.series.depths() == instrumented.series.depths()
+    assert [s.metrics.get("transitions") for s in plain.series.samples] == [
+        s.metrics.get("transitions") for s in instrumented.series.samples
+    ]
+
+
+def test_instrumented_run_leaves_durable_record(tmp_path):
+    protocol, invariant, initial = _paxos_s55()
+    registry = RunRegistry(str(tmp_path))
+    handle = registry.register("test", workload="s55", algorithm="lmc-opt")
+    coverage = CoverageTracker()
+    checker = LocalModelChecker(
+        protocol,
+        invariant,
+        config=LMCConfig.optimized(),
+        run_handle=handle,
+        coverage=coverage,
+        metrics_interval=0.001,
+    )
+    result = checker.run(initial)
+    assert result.found_bug
+    record = registry.load(handle.run_id)
+    assert record.heartbeat is not None
+    assert record.heartbeat["depth"] >= 0
+    assert "transitions" in record.heartbeat
+    assert record.heartbeat["round"] >= 1
+    assert "frontier" in record.heartbeat

@@ -131,10 +131,15 @@ class TestJsonlRoundTrip:
             json.loads(line)
 
     def test_malformed_line_raises_with_location(self, tmp_path):
+        # A malformed *final* line is treated as a killed run's truncated
+        # tail by default, so corruption must be mid-file to fail loudly.
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"ok": 1}\nnot json\n')
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n')
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             load_trace(str(path))
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_trace(str(path), tolerate_truncated_tail=False)
 
     def test_accepts_open_file_object(self, tmp_path):
         path = tmp_path / "trace.jsonl"

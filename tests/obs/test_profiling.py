@@ -1,0 +1,78 @@
+"""Profiling hooks: phase_timer accumulation and the Fig. 13 arithmetic."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.emitter import JsonlEmitter
+from repro.obs.profiling import PHASE_ORDER, overhead_breakdown, phase_timer
+from repro.stats.counters import ExplorationStats
+
+
+def test_phase_timer_accumulates_into_stats():
+    stats = ExplorationStats()
+    with phase_timer(stats, "explore"):
+        pass
+    with phase_timer(stats, "explore"):
+        pass
+    assert stats.phase_seconds["explore"] >= 0.0
+    assert set(stats.phase_seconds) == {"explore"}
+
+
+def test_phase_timer_charges_time_on_exception():
+    stats = ExplorationStats()
+    with pytest.raises(RuntimeError):
+        with phase_timer(stats, "soundness"):
+            raise RuntimeError("stop mid-phase")
+    assert "soundness" in stats.phase_seconds
+    assert stats.phase_seconds["soundness"] >= 0.0
+
+
+def test_phase_timer_emits_span_when_named():
+    stats = ExplorationStats()
+    sink = io.StringIO()
+    emitter = JsonlEmitter(sink)
+    with phase_timer(stats, "explore", emitter=emitter, span_name="region", n=3):
+        pass
+    records = [json.loads(line) for line in sink.getvalue().splitlines()]
+    spans = [r for r in records if r.get("kind") == "span"]
+    assert len(spans) == 1
+    assert spans[0]["name"] == "region"
+    assert spans[0]["fields"]["phase"] == "explore"
+    assert spans[0]["fields"]["n"] == 3
+
+
+def test_phase_timer_without_span_name_emits_nothing():
+    stats = ExplorationStats()
+    sink = io.StringIO()
+    emitter = JsonlEmitter(sink)
+    baseline = sink.getvalue()  # emitter writes a trace_start header
+    with phase_timer(stats, "explore", emitter=emitter):
+        pass
+    assert sink.getvalue() == baseline
+
+
+def test_overhead_breakdown_orders_and_normalizes():
+    rows = overhead_breakdown(
+        {"soundness": 1.0, "explore": 2.0, "system_states": 1.0, "zextra": 4.0}
+    )
+    names = [name for name, _s, _f in rows]
+    assert names == list(PHASE_ORDER) + ["zextra"]
+    assert sum(fraction for _n, _s, fraction in rows) == pytest.approx(1.0)
+    by_name = {name: fraction for name, _s, fraction in rows}
+    assert by_name["explore"] == pytest.approx(0.25)
+    assert by_name["zextra"] == pytest.approx(0.5)
+
+
+def test_overhead_breakdown_clamps_negative_residue():
+    rows = overhead_breakdown({"explore": 3.0, "system_states": -0.5})
+    by_name = {name: (seconds, fraction) for name, seconds, fraction in rows}
+    assert by_name["system_states"] == (0.0, 0.0)
+    assert by_name["explore"][1] == pytest.approx(1.0)
+
+
+def test_overhead_breakdown_zero_total():
+    rows = overhead_breakdown({"explore": 0.0})
+    assert rows == [("explore", 0.0, 0.0)]
+    assert overhead_breakdown({}) == []

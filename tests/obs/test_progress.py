@@ -1,0 +1,116 @@
+"""Progress/ETA estimation: the growth-factor fit and its fallbacks."""
+
+import math
+
+from repro.obs.progress import (
+    ProgressEstimate,
+    estimate_progress,
+    fit_growth_factor,
+    format_eta,
+)
+
+
+def _geometric_samples(base=2.0, depths=6, per_depth_s=1.0):
+    """Work that doubles per depth at a constant wall rate."""
+    samples = []
+    for depth in range(1, depths + 1):
+        work = base**depth
+        samples.append((depth, per_depth_s * depth, work))
+    return samples
+
+
+def test_fit_recovers_exact_geometric_factor():
+    factor = fit_growth_factor(_geometric_samples(base=2.0))
+    assert factor is not None
+    assert math.isclose(factor, 2.0, rel_tol=1e-9)
+
+
+def test_fit_needs_two_distinct_depths():
+    assert fit_growth_factor([]) is None
+    assert fit_growth_factor([(3, 1.0, 100.0)]) is None
+    # Same depth twice is still one point.
+    assert fit_growth_factor([(3, 1.0, 100.0), (3, 2.0, 200.0)]) is None
+
+
+def test_fit_ignores_zero_work_samples():
+    samples = [(0, 0.0, 0.0), (1, 1.0, 2.0), (2, 2.0, 4.0)]
+    factor = fit_growth_factor(samples)
+    assert math.isclose(factor, 2.0, rel_tol=1e-9)
+
+
+def test_estimate_extrapolates_geometric_remaining():
+    samples = _geometric_samples(base=2.0, depths=6)
+    estimate = estimate_progress(samples, max_depth=8)
+    assert isinstance(estimate, ProgressEstimate)
+    assert estimate.depth == 6
+    # Remaining = W * (2^2 - 1) = 3 * 64.
+    assert math.isclose(estimate.work_remaining, 3 * 64.0, rel_tol=1e-6)
+    assert 0.0 < estimate.fraction_done < 1.0
+    assert estimate.eta_s is not None and estimate.eta_s > 0
+    # Sanity: work_done/(done+remaining) matches the reported fraction.
+    assert math.isclose(
+        estimate.fraction_done,
+        estimate.work_done / (estimate.work_done + estimate.work_remaining),
+    )
+
+
+def test_estimate_linear_fallback_when_flat():
+    # Constant cumulative work => factor 1.0 => linear model.
+    samples = [(1, 1.0, 100.0), (2, 2.0, 100.0), (3, 3.0, 100.0)]
+    estimate = estimate_progress(samples, max_depth=6)
+    assert math.isclose(estimate.growth_factor, 1.0, rel_tol=1e-9)
+    # Linear: (100/3) per depth * 3 depths left.
+    assert math.isclose(estimate.work_remaining, 100.0, rel_tol=1e-9)
+
+
+def test_estimate_without_depth_bound_has_no_eta():
+    estimate = estimate_progress(_geometric_samples(), max_depth=None)
+    assert estimate.max_depth is None
+    assert estimate.work_remaining is None
+    assert estimate.fraction_done is None
+    assert estimate.eta_s is None
+    assert estimate.growth_factor is not None
+
+
+def test_estimate_at_or_past_bound_is_done():
+    samples = _geometric_samples(base=2.0, depths=6)
+    estimate = estimate_progress(samples, max_depth=6)
+    assert estimate.work_remaining == 0.0
+    assert estimate.fraction_done == 1.0
+    assert estimate.eta_s == 0.0
+
+
+def test_estimate_empty_series_is_none():
+    assert estimate_progress([], max_depth=10) is None
+
+
+def test_estimate_single_sample_at_depth_zero():
+    # No depth progress yet and no fit: remaining is unknowable.
+    estimate = estimate_progress([(0, 0.5, 10.0)], max_depth=10)
+    assert estimate.work_remaining is None
+    assert estimate.eta_s is None
+
+
+def test_as_dict_is_json_ready():
+    estimate = estimate_progress(_geometric_samples(), max_depth=8)
+    payload = estimate.as_dict()
+    assert payload["depth"] == 6
+    assert payload["max_depth"] == 8
+    assert set(payload) == {
+        "depth",
+        "max_depth",
+        "work_done",
+        "rate_per_s",
+        "growth_factor",
+        "work_remaining",
+        "fraction_done",
+        "eta_s",
+    }
+
+
+def test_format_eta():
+    assert format_eta(None) == "-"
+    assert format_eta(-3.0) == "0.0s"
+    assert format_eta(12.34) == "12.3s"
+    assert format_eta(302) == "5m02s"
+    assert format_eta(3900) == "1h05m"

@@ -1,0 +1,81 @@
+"""The read-only HTTP status endpoint over the run registry."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.registry import RunRegistry
+from repro.obs.statusd import make_server, run_summary
+
+
+@pytest.fixture()
+def served_registry(tmp_path):
+    registry = RunRegistry(str(tmp_path))
+    server = make_server(registry, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield registry, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, json.load(response)
+
+
+def test_list_endpoint_empty_and_populated(served_registry):
+    registry, base = served_registry
+    status, payload = _get(f"{base}/runs")
+    assert status == 200 and payload == []
+    handle = registry.register("check", workload="echo", algorithm="lmc-opt")
+    handle.heartbeat({"depth": 3, "transitions": 42}, force=True)
+    status, payload = _get(f"{base}/")
+    assert status == 200
+    assert len(payload) == 1
+    assert payload[0]["run_id"] == handle.run_id
+    assert payload[0]["workload"] == "echo"
+    assert payload[0]["depth"] == 3
+    assert payload[0]["transitions"] == 42
+
+
+def test_detail_and_coverage_endpoints(served_registry):
+    registry, base = served_registry
+    handle = registry.register("check", workload="echo")
+    handle.write_coverage({"message_types": {"Ping": 1}})
+    status, payload = _get(f"{base}/runs/{handle.run_id}")
+    assert status == 200
+    assert payload["run_id"] == handle.run_id
+    assert payload["meta"]["workload"] == "echo"
+    status, payload = _get(f"{base}/runs/{handle.run_id}/coverage")
+    assert status == 200
+    assert payload["message_types"] == {"Ping": 1}
+
+
+def test_unknown_paths_and_runs_are_404(served_registry):
+    registry, base = served_registry
+    for path in ("/runs/nope", "/bogus", "/runs/nope/coverage"):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}{path}")
+        assert excinfo.value.code == 404
+    handle = registry.register("check")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(f"{base}/runs/{handle.run_id}/coverage")
+    assert excinfo.value.code == 404
+
+
+def test_run_summary_shape(tmp_path):
+    registry = RunRegistry(str(tmp_path))
+    handle = registry.register("check", workload="echo", algorithm="lmc-opt")
+    handle.heartbeat(
+        {"depth": 2, "round": 5, "transitions": 7, "progress": {"eta_s": 1.0}},
+        force=True,
+    )
+    summary = run_summary(registry.load(handle.run_id))
+    assert summary["status"] == "running"
+    assert summary["round"] == 5
+    assert summary["progress"] == {"eta_s": 1.0}

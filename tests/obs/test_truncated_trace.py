@@ -1,0 +1,93 @@
+"""Trace readers must survive the one truncated line a killed run leaves."""
+
+import json
+
+import pytest
+
+from repro.obs.report import TraceSummary, load_trace
+
+
+def _write_trace(path, records, tail=""):
+    with open(path, "w", encoding="utf-8") as out:
+        for record in records:
+            out.write(json.dumps(record) + "\n")
+        out.write(tail)
+
+
+_RECORDS = [
+    {"kind": "event", "name": "run_start", "fields": {"max_depth": 9}},
+    {
+        "kind": "metric",
+        "fields": {"depth": 2, "elapsed_s": 1.0, "transitions": 10},
+    },
+    {
+        "kind": "metric",
+        "fields": {"depth": 4, "elapsed_s": 2.0, "transitions": 40},
+    },
+]
+
+
+def test_truncated_final_line_is_tolerated(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    # A SIGKILL mid-write leaves a partial JSON object on the last line.
+    _write_trace(path, _RECORDS, tail='{"kind": "metric", "fields": {"dep')
+    records = load_trace(path)
+    assert len(records) == len(_RECORDS)
+    assert records[-1]["fields"]["depth"] == 4
+
+
+def test_truncated_tail_rejected_when_tolerance_off(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    _write_trace(path, _RECORDS, tail='{"cut')
+    with pytest.raises(ValueError, match="malformed trace record"):
+        load_trace(path, tolerate_truncated_tail=False)
+
+
+def test_mid_file_corruption_still_fails_loudly(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    with open(path, "w", encoding="utf-8") as out:
+        out.write('{"kind": "event", "name": "run_start"}\n')
+        out.write("{corrupt line}\n")
+        out.write('{"kind": "metric", "fields": {}}\n')
+    with pytest.raises(ValueError, match=r"t\.jsonl:2"):
+        load_trace(path)
+
+
+def test_trailing_blank_lines_do_not_mask_truncation(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    _write_trace(path, _RECORDS, tail='{"cut\n\n\n')
+    records = load_trace(path)
+    assert len(records) == len(_RECORDS)
+
+
+def test_intact_trace_unchanged_by_tolerance(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    _write_trace(path, _RECORDS)
+    assert load_trace(path) == load_trace(path, tolerate_truncated_tail=False)
+
+
+def test_summary_reports_progress_from_truncated_trace(tmp_path):
+    """A killed run's trace still yields the growth model and a forecast."""
+    path = str(tmp_path / "t.jsonl")
+    _write_trace(path, _RECORDS, tail='{"kind": "metric", "fie')
+    summary = TraceSummary.from_file(path)
+    estimate = summary.progress_profile()
+    assert estimate is not None
+    assert estimate.depth == 4
+    assert estimate.max_depth == 9
+    assert estimate.growth_factor is not None and estimate.growth_factor > 1.0
+    assert estimate.eta_s is not None
+    rendered = summary.render()
+    assert "Progress & growth model" in rendered
+    assert "est. remaining" in rendered
+
+
+def test_finished_trace_renders_no_forecast(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    done = _RECORDS + [
+        {"kind": "event", "name": "run_end", "fields": {"completed": True}}
+    ]
+    _write_trace(path, done)
+    rendered = TraceSummary.from_file(path).render()
+    assert "Progress & growth model" in rendered
+    assert "est. remaining" not in rendered

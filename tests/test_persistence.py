@@ -147,7 +147,9 @@ class TestAtomicSave:
         def boom(*args, **kwargs):
             raise RuntimeError("disk full mid-dump")
 
-        monkeypatch.setattr("repro.persistence.json.dump", boom)
+        # save_bugs now dumps through the shared repro.fsio atomic-write
+        # helper, so the failure is injected there.
+        monkeypatch.setattr("repro.fsio.json.dumps", boom)
         with pytest.raises(RuntimeError):
             save_bugs(str(path), bugs)
         monkeypatch.undo()

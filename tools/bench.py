@@ -194,9 +194,35 @@ def _run_child(workload: str, mode: str) -> None:
         overrides = {}
 
     checker, initial = _build_checker(workload, overrides)
+    # Register with the run registry (docs/OBSERVABILITY.md "Live
+    # operations") so `repro runs`/`repro status` can watch long bench
+    # children.  Best effort: a read-only checkout still benches.
+    handle = None
+    try:
+        from repro.obs.registry import RunRegistry
+
+        handle = RunRegistry().register(
+            command="bench", workload=workload, algorithm=mode
+        )
+        checker.run_handle = handle
+    except OSError:
+        pass
     start = time.perf_counter()
-    result = checker.run(initial)
+    try:
+        result = checker.run(initial)
+    except BaseException as exc:
+        if handle is not None:
+            handle.finish(status="failed", error=repr(exc))
+        raise
     wall_s = time.perf_counter() - start
+    if handle is not None:
+        handle.finish(
+            status="finished",
+            completed=result.completed,
+            stop_reason=result.stop_reason,
+            transitions=result.stats.transitions,
+            wall_s=wall_s,
+        )
 
     counts = {
         key: value

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI smoke test for the live run registry and coverage surface.
+
+Launches a real ``repro check paxos --coverage`` run in a background
+process, polls ``repro status`` until the registry reports it finished,
+then asserts that ``repro coverage`` lists every declared Paxos handler as
+exercised.  Exercises the same cross-process read path an operator uses —
+argparse, registry discovery, heartbeat staleness judgement, coverage
+rendering — not the in-process API.
+
+Exit code 0 on success; non-zero with a diagnostic dump on any failure.
+Usage: ``python tools/status_smoke.py [--runs-root DIR] [--timeout SECONDS]``
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: Every handler the Paxos protocol declares; `repro coverage` must show
+#: each one as exercised after a full default check run.
+PAXOS_HANDLERS = ("Prepare", "PrepareResponse", "Accept", "Learn", "init", "propose")
+
+
+def _repro(args, **kwargs):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs-root", default=os.path.join(REPO_ROOT, ".lmc", "runs"))
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args(argv)
+    registry = ["--registry-root", args.runs_root]
+
+    env = dict(os.environ, PYTHONPATH=SRC)
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "check",
+            "paxos",
+            "--metrics-interval",
+            "0.2",
+            "--coverage",
+            *registry,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+    # Poll the status surface from *this* process until the run finishes.
+    status_out = ""
+    deadline = time.time() + args.timeout
+    finished = False
+    while time.time() < deadline:
+        result = _repro(["status", *registry])
+        status_out = result.stdout + result.stderr
+        if result.returncode == 0 and "status        : finished" in result.stdout:
+            finished = True
+            break
+        if child.poll() is not None and child.returncode != 0:
+            break  # child died; fall through to the diagnostics
+        time.sleep(0.5)
+
+    child_out, _ = child.communicate(timeout=args.timeout)
+    failures = []
+    if child.returncode != 0:
+        failures.append(f"check run exited {child.returncode}")
+    if not finished:
+        failures.append("status never reported the run finished")
+
+    coverage = _repro(["coverage", *registry])
+    if coverage.returncode != 0:
+        failures.append(f"repro coverage exited {coverage.returncode}")
+    for handler in PAXOS_HANDLERS:
+        if handler not in coverage.stdout:
+            failures.append(f"coverage output is missing handler {handler!r}")
+    if "UNEXERCISED" in coverage.stdout:
+        failures.append("coverage reports unexercised Paxos transitions")
+
+    runs = _repro(["runs", *registry])
+    if failures:
+        print("STATUS SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        for title, text in (
+            ("check output", child_out),
+            ("last status output", status_out),
+            ("coverage output", coverage.stdout + coverage.stderr),
+            ("runs output", runs.stdout + runs.stderr),
+        ):
+            print(f"\n--- {title} ---\n{text}", file=sys.stderr)
+        return 1
+
+    print("status smoke OK")
+    print(runs.stdout, end="")
+    print(coverage.stdout, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
