@@ -228,6 +228,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="global cap on crash events across the run "
             "(default: only the per-node bound)",
         )
+        command.add_argument(
+            "--symmetry-reduction",
+            action="store_true",
+            help="canonicalise system-state combinations to orbit "
+            "representatives under the protocol-declared node-symmetry "
+            "group (LMC algorithms only; see docs/REDUCTION.md)",
+        )
+        command.add_argument(
+            "--por",
+            action="store_true",
+            help="prune non-canonical orderings of commuting deliveries "
+            "from the predecessor DAG (LMC algorithms only; see "
+            "docs/REDUCTION.md)",
+        )
 
     check = sub.add_parser("check", help="model check a named workload")
     add_check_flags(check)
@@ -249,6 +263,19 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("name", choices=("s55", "s56"))
     scenario.add_argument("--buggy", action="store_true", default=None)
     scenario.add_argument("--correct", dest="buggy", action="store_false")
+    scenario.add_argument(
+        "--symmetry-reduction",
+        action="store_true",
+        help="canonicalise system-state combinations to orbit "
+        "representatives (the group is restricted to the snapshot's "
+        "stabilizer; see docs/REDUCTION.md)",
+    )
+    scenario.add_argument(
+        "--por",
+        action="store_true",
+        help="prune non-canonical orderings of commuting deliveries "
+        "(see docs/REDUCTION.md)",
+    )
     add_trace_flags(scenario)
     add_registry_flags(scenario)
 
@@ -353,6 +380,10 @@ def run_check(
             max_crashes_per_node=args.max_crashes_per_node,
             max_total_crashes=args.max_total_crashes,
         )
+    if getattr(args, "symmetry_reduction", False):
+        fault_overrides["symmetry_reduction"] = True
+    if getattr(args, "por", False):
+        fault_overrides["por_pruning"] = True
     explore_workers = getattr(args, "explore_workers", 0)
     if explore_workers:
         # -1 (or any negative) = all CPUs, matching --workers' "0 or None"
@@ -428,10 +459,15 @@ def run_scenario(
         protocol = onepaxos_scenario(buggy)
         invariant = OnePaxosAgreement(0)
         initial = post_leaderchange_state(protocol)
+    overrides = {}
+    if getattr(args, "symmetry_reduction", False):
+        overrides["symmetry_reduction"] = True
+    if getattr(args, "por", False):
+        overrides["por_pruning"] = True
     checker = LocalModelChecker(
         protocol,
         invariant,
-        config=LMCConfig.optimized(),
+        config=LMCConfig.optimized(**overrides),
         emitter=emitter,
         metrics_interval=interval,
         run_handle=run_handle,

@@ -45,6 +45,7 @@ from repro.core.records import (
     PredecessorLink,
 )
 from repro.core.soundness import SoundnessVerifier
+from repro.core.symmetry import SymmetryReducer
 from repro.core.system_states import (
     Combination,
     ProjectionIndex,
@@ -322,6 +323,15 @@ class _ExplorationPass:
         #: across the shared worker pool.  ``None`` (``explore_workers=0``)
         #: keeps the sweep fully in-process.
         self._speculator: Optional[RoundSpeculator] = RoundSpeculator.for_pass(self)
+        #: Symmetry reduction (docs/REDUCTION.md): orbit canonicalisation of
+        #: candidate combinations under the protocol-declared node-symmetry
+        #: group.  ``None`` — the default, and whenever the protocol declares
+        #: no usable classes — leaves enumeration byte-identical to a build
+        #: without the reducer.
+        self._symmetry: Optional[SymmetryReducer] = SymmetryReducer.for_pass(self)
+        #: Commutativity pruning (docs/REDUCTION.md): suppress non-canonical
+        #: same-node delivery-order diamonds in the predecessor DAG.
+        self._por = self.config.por_pruning
 
     # -- top level -------------------------------------------------------------
 
@@ -380,6 +390,16 @@ class _ExplorationPass:
             # counters must stay out of the deterministic metric series.
             if self.emitter.enabled and interning_enabled():
                 self.emitter.event("hash_cache", **intern_stats())
+            # Reduction accounting (docs/REDUCTION.md): one aggregate event
+            # per pass, only when a reduction is actually on.
+            if self.emitter.enabled and (self._symmetry is not None or self._por):
+                payload: Dict[str, int] = {
+                    "symmetry_skips": self.stats.symmetry_skips,
+                    "por_links_suppressed": self.stats.por_links_suppressed,
+                }
+                if self._symmetry is not None:
+                    payload.update(self._symmetry.summary())
+                self.emitter.event("reduction", **payload)
 
     def _seed(self) -> None:
         """Install the live state (Fig. 9 lines 2-4): seed each ``LS_n``.
@@ -798,6 +818,17 @@ class _ExplorationPass:
                 # A speculatively-executed successor the deterministic merge
                 # found already in LS_n — exactly the dedup serial would do.
                 self.stats.explore_merge_conflicts_suppressed += 1
+            if (
+                self._por
+                and consumed_hash is not None
+                and self._por_redundant(record, existing, link)
+            ):
+                # Commutativity pruning (docs/REDUCTION.md): this link would
+                # close the non-canonical side of a delivery-order diamond
+                # whose deliveries provably commute; the canonical ordering
+                # already reaches the same state.
+                self.stats.por_links_suppressed += 1
+                return
             if existing.add_predecessor(link):
                 self._retained_bytes += LINK_BYTES
                 # The predecessor DAG changed: invalidate the soundness
@@ -839,6 +870,54 @@ class _ExplorationPass:
                 self._cached_projection(record.node, new_record),
             )
         self._check_new_state(new_record)
+
+    def _por_redundant(
+        self,
+        record: NodeStateRecord,
+        existing: NodeStateRecord,
+        link: PredecessorLink,
+    ) -> bool:
+        """Would ``link`` close the redundant side of a commuting diamond?
+
+        The link being added delivers message ``m2`` on ``record`` (whose
+        own discovery includes a delivery of some ``m1``) and lands on
+        ``existing``.  When the mirror path — ``m2`` first, then ``m1``,
+        through a sibling record — already reaches ``existing``, both
+        orderings of two deliveries to the *same* node are in the DAG.  If
+        the deliveries provably commute (neither message was generated by
+        the other's execution, so neither ordering is causally required)
+        the non-canonical ordering — descending consumed hashes — is
+        redundant for path enumeration and may be suppressed.  One-sided by
+        construction: suppression removes candidate orderings only, so a
+        witness found later is still genuinely replayable (the documented
+        conservatism is a possibly *missed* witness, docs/REDUCTION.md).
+        """
+        m2 = link.consumed_hash
+        assert m2 is not None
+        store = self.space.store(record.node)
+        for lq in record.predecessors:
+            m1 = lq.consumed_hash
+            # Only delivery→delivery diamonds, and only the non-canonical
+            # ordering (m1 before m2 with m1 > m2) is a suppression
+            # candidate; the ascending ordering is always kept.
+            if m1 is None or lq.prev_hash is None or m1 <= m2:
+                continue
+            if m2 in lq.generated_hashes:
+                continue  # m2 causally follows m1: not a commuting pair
+            for lt in existing.predecessors:
+                if lt.consumed_hash != m1 or lt.prev_hash is None:
+                    continue
+                sibling = store.lookup(lt.prev_hash)
+                if sibling is None or sibling is record:
+                    continue
+                for lr in sibling.predecessors:
+                    if (
+                        lr.prev_hash == lq.prev_hash
+                        and lr.consumed_hash == m2
+                        and m1 not in lr.generated_hashes
+                    ):
+                        return True
+        return False
 
     # -- invariant checking over temporary system states -----------------------------
 
@@ -890,6 +969,14 @@ class _ExplorationPass:
                         # Soundness enumeration dominates hard rounds; keep
                         # the live heartbeat cadence alive from inside it.
                         self.metrics.pulse(self.explored_depth)
+                    if self._symmetry is not None and not (
+                        self._symmetry.first_occurrence(combo)
+                    ):
+                        # An orbit sibling was already materialised and
+                        # checked; under the declared equivariance its
+                        # verdict covers this combination.
+                        self.stats.symmetry_skips += 1
+                        continue
                     self.stats.system_states_created += 1
                     system = combination_to_system_state(combo)
                     self.stats.invariant_checks += 1
@@ -947,6 +1034,11 @@ class _ExplorationPass:
                 if self.clock.out_of_time():
                     raise _StopSearch("time budget exhausted", completed=False)
                 self.metrics.pulse(self.explored_depth)
+            if self._symmetry is not None and not (
+                self._symmetry.first_occurrence(combo)
+            ):
+                self.stats.symmetry_skips += 1
+                continue
             self.stats.system_states_created += 1
             self._verify_and_report(combo, combination_to_system_state(combo))
             if len(self.bugs) > bugs_before:
@@ -976,6 +1068,20 @@ class _ExplorationPass:
             return
         started = time.perf_counter()
         witness = self.verifier.is_state_sound(combo)
+        if witness is None and self._symmetry is not None:
+            # Orbit-aware fallback (docs/REDUCTION.md): the enumerated
+            # representative of a violating orbit may fail replay while a
+            # sibling — reached through differently-named nodes, so with a
+            # differently-shaped predecessor DAG — carries the valid
+            # ordering.  Confirming any sibling confirms the orbit; the
+            # sibling's own (violating, by equivariance) system state is
+            # reported so the witness replays against it.
+            for variant in self._symmetry.orbit_variants(self.space, combo):
+                witness = self.verifier.is_state_sound(variant)
+                if witness is not None:
+                    combo = variant
+                    system = combination_to_system_state(variant)
+                    break
         soundness_seconds = time.perf_counter() - started
         # The enclosing _check_new_state measures its whole wall time into the
         # "system_states" bucket; compensate so soundness time lands in its

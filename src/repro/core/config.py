@@ -161,6 +161,27 @@ class LMCConfig:
     #: and pay pool latency without amortizing it.
     explore_round_threshold: int = 128
 
+    #: Symmetry reduction (docs/REDUCTION.md): canonicalise system-state
+    #: combinations to orbit representatives under the protocol-declared
+    #: node-symmetry group (the optional ``symmetry_classes()`` hook) before
+    #: invariant checking, so permutations of interchangeable nodes are
+    #: checked once.  Requires a π-invariant system invariant; preserves
+    #: verdicts (same bugs, a canonical witness) and reduces
+    #: ``system_states_created``.  Off by default — and byte-identical-off:
+    #: with the knob off no reducer object exists and every counter, verdict
+    #: and witness matches a build without the feature.
+    symmetry_reduction: bool = False
+
+    #: Commutativity-based pruning (docs/REDUCTION.md): suppress the
+    #: non-canonical predecessor pointer of a same-node delivery-order
+    #: diamond when the two deliveries provably commute (neither message was
+    #: generated by the other's execution).  Thins the predecessor DAG the
+    #: soundness verifier enumerates — fewer ``soundness_sequences`` — at
+    #: the cost of a documented conservatism (a suppressed ordering can, in
+    #: principle, hide the only valid witness of a combination; never a
+    #: false positive).  Off by default and byte-identical-off.
+    por_pruning: bool = False
+
     #: Reuse incremental per-node structures during system-state creation:
     #: cached active-record lists and — for pairwise LMC-OPT — a per-node
     #: index of records with non-``None`` projections, so each anchored

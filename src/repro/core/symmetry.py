@@ -1,0 +1,258 @@
+"""Symmetry reduction of system-state enumeration (docs/REDUCTION.md).
+
+Many protocols have interchangeable nodes — Paxos acceptors that hold no
+proposal, 2PC participants scripted with the same vote, leaves of a
+broadcast tree — and verdicts that are invariant under renaming them.  LMC
+still enumerates every permutation of their states into anchored system
+states.  This module canonicalises each candidate combination to a
+representative of its *orbit* under the protocol-declared symmetry group,
+so each orbit is invariant-checked (and, on violation, soundness-verified)
+once.
+
+The group is declared, not discovered: a protocol's optional
+``symmetry_classes()`` hook (:func:`repro.protocols.common
+.declared_symmetry_classes`) names tuples of interchangeable node ids, and
+the group is the product of the full symmetric groups over each class.
+Declaring a class asserts *equivariance* — renaming the members everywhere
+(initial states, handler behaviour, invariant verdicts) permutes executions
+without changing observable outcomes.  Under that assertion the reduction
+preserves verdicts: every skipped combination has an orbit sibling that was
+(or will be) enumerated by the symmetric exploration, so a violation is
+never lost, only reported through its canonical representative.  The
+soundness argument, and the one residual timing conservatism it inherits
+from the paper's own reverify gap, are spelled out in docs/REDUCTION.md.
+
+Everything here is gated: with ``LMCConfig.symmetry_reduction`` off (the
+default) no :class:`SymmetryReducer` is constructed and the checker is
+byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.model.hashing import content_hash
+from repro.model.types import NodeId
+from repro.protocols.common import declared_symmetry_classes, renamed_state
+
+#: Hard cap on composed group size: the per-class factorials multiply, and a
+#: pathological declaration (say, ten interchangeable nodes) must not turn
+#: every canonicalisation into a 3.6M-permutation scan.  Classes are dropped
+#: from the end of the declaration until the product fits — a smaller group
+#: only weakens the reduction, never its soundness.
+_GROUP_CAP = 720
+
+
+def _class_permutations(members: Tuple[NodeId, ...]) -> List[Dict[NodeId, NodeId]]:
+    """All renamings of one class, as minimal (moved-ids-only) mappings."""
+    perms = []
+    for image in itertools.permutations(members):
+        mapping = {
+            src: dst for src, dst in zip(members, image) if src != dst
+        }
+        perms.append(mapping)
+    return perms
+
+
+def build_group(
+    classes: Tuple[Tuple[NodeId, ...], ...],
+    cap: int = _GROUP_CAP,
+) -> Tuple[Dict[NodeId, NodeId], ...]:
+    """The symmetry group as node renamings: the product over the classes.
+
+    Element 0 is always the identity (the empty mapping).  Classes whose
+    factorial blow-up would push the composed group past ``cap`` are
+    dropped, deterministically, from the end of the declaration.
+    """
+    kept: List[List[Dict[NodeId, NodeId]]] = []
+    size = 1
+    for members in classes:
+        perms = _class_permutations(members)
+        if size * len(perms) > cap:
+            continue
+        size *= len(perms)
+        kept.append(perms)
+    group: List[Dict[NodeId, NodeId]] = []
+    for parts in itertools.product(*kept) if kept else ((),):
+        mapping: Dict[NodeId, NodeId] = {}
+        for part in parts:
+            mapping.update(part)
+        group.append(mapping)
+    # Identity first: canonicalisation starts from the unrenamed key, and
+    # orbit-variant search skips element 0.
+    group.sort(key=lambda mapping: (len(mapping), sorted(mapping.items())))
+    return tuple(group)
+
+
+class SymmetryReducer:
+    """Orbit canonicalisation of system-state combinations.
+
+    One reducer serves one exploration pass.  It holds:
+
+    * the composed symmetry ``group`` (identity first);
+    * a renamed-hash cache — ``content_hash(rename(state, π))`` keyed by
+      ``(node, record index, group index)``, with the identity element
+      answered by the record's stored hash for free;
+    * the set of canonical orbit keys already enumerated this pass.
+
+    A combination's **orbit key** is the minimum, over the group, of the
+    sorted tuple of ``(π(node), hash(rename(state, π)))`` pairs.  Two
+    combinations get equal keys iff some group element maps one onto the
+    other (modulo the vanishing probability of a content-hash collision),
+    so first-occurrence filtering on the key enumerates exactly one member
+    per orbit.
+    """
+
+    __slots__ = (
+        "protocol",
+        "classes",
+        "group",
+        "_renamed_hash",
+        "_seen",
+        "orbit_hits",
+    )
+
+    def __init__(
+        self,
+        protocol: Any,
+        classes: Tuple[Tuple[NodeId, ...], ...],
+        cap: int = _GROUP_CAP,
+    ):
+        self.protocol = protocol
+        self.classes = classes
+        self.group = build_group(classes, cap)
+        self._renamed_hash: Dict[Tuple[NodeId, int, int], int] = {}
+        self._seen: set = set()
+        #: Orbit keys that came back already seen (== the checker's
+        #: ``symmetry_skips``, kept here too for the ``reduction`` event).
+        self.orbit_hits = 0
+
+    @classmethod
+    def for_pass(cls, pass_: Any) -> Optional["SymmetryReducer"]:
+        """A reducer when the config and the protocol both enable one.
+
+        Mirrors ``RoundSpeculator.for_pass``: with the knob off — or a
+        protocol that declares no (usable) symmetry classes — the pass
+        carries ``None`` and pays nothing.
+        """
+        if not pass_.config.symmetry_reduction:
+            return None
+        classes = declared_symmetry_classes(pass_.protocol)
+        if not classes:
+            return None
+        reducer = cls(pass_.protocol, classes)
+        reducer.restrict_to_stabilizer(pass_.initial_system)
+        if len(reducer.group) <= 1:
+            return None
+        return reducer
+
+    def restrict_to_stabilizer(self, initial_system: Any) -> None:
+        """Keep only group elements that map the seeded snapshot onto itself.
+
+        The hook speaks for the protocol's own uniform boot states, but a
+        pass may be seeded with a crafted live snapshot (``run(initial)`` —
+        the §5.5 experiment starts from an asymmetric partial-choice state).
+        Renaming is only an execution symmetry from states the renaming
+        fixes, so the group is cut down to the snapshot's stabilizer: π
+        survives iff ``rename(initial[n], π) == initial[π(n)]`` for every
+        node.  Stabilizers are subgroups, so closure (and the soundness
+        argument built on it) is preserved; in the worst case the group
+        collapses to the identity and ``for_pass`` disables the reducer.
+        """
+        kept: List[Dict[NodeId, NodeId]] = []
+        for mapping in self.group:
+            if not mapping:
+                kept.append(mapping)
+                continue
+            fixes = all(
+                renamed_state(self.protocol, state, mapping)
+                == initial_system.get(mapping.get(node, node))
+                for node, state in initial_system.items()
+            )
+            if fixes:
+                kept.append(mapping)
+        self.group = tuple(kept)
+
+    # -- canonicalisation --------------------------------------------------
+
+    def _hash_under(self, record: Any, index: int, mapping: Dict[NodeId, NodeId]) -> int:
+        """Content hash of ``record.state`` renamed by group element ``index``."""
+        if not mapping:
+            return record.hash
+        key = (record.node, record.index, index)
+        cached = self._renamed_hash.get(key)
+        if cached is None:
+            cached = content_hash(renamed_state(self.protocol, record.state, mapping))
+            self._renamed_hash[key] = cached
+        return cached
+
+    def orbit_key(self, combo: Dict[NodeId, Any]) -> Tuple[Tuple[int, int], ...]:
+        """The canonical key of ``combo``'s orbit (minimum over the group)."""
+        best: Optional[Tuple[Tuple[int, int], ...]] = None
+        for index, mapping in enumerate(self.group):
+            key = tuple(
+                sorted(
+                    (mapping.get(node, node), self._hash_under(record, index, mapping))
+                    for node, record in combo.items()
+                )
+            )
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        return best
+
+    def first_occurrence(self, combo: Dict[NodeId, Any]) -> bool:
+        """True when no member of ``combo``'s orbit was enumerated before.
+
+        A False return means an orbit sibling already went through invariant
+        checking this pass — the caller skips the combination and counts a
+        ``symmetry_skip``.
+        """
+        key = self.orbit_key(combo)
+        if key in self._seen:
+            self.orbit_hits += 1
+            return False
+        self._seen.add(key)
+        return True
+
+    # -- orbit-aware soundness fallback ------------------------------------
+
+    def orbit_variants(
+        self, space: Any, combo: Dict[NodeId, Any]
+    ) -> Iterator[Dict[NodeId, Any]]:
+        """Orbit siblings of ``combo`` whose records all exist in ``LS``.
+
+        Used when the enumerated representative of a violating orbit fails
+        soundness verification: a sibling reached through differently-named
+        nodes may carry the valid event ordering (exploration is equivariant
+        *eventually*, not at every intermediate serial moment).  Siblings
+        with members not (yet) discovered are silently skipped.
+        """
+        for index, mapping in enumerate(self.group):
+            if not mapping:
+                continue
+            variant: Dict[NodeId, Any] = {}
+            complete = True
+            for node, record in combo.items():
+                target = mapping.get(node, node)
+                renamed_hash = self._hash_under(record, index, mapping)
+                sibling = space.store(target).lookup(renamed_hash)
+                if sibling is None or sibling.discarded or sibling.crashed:
+                    complete = False
+                    break
+                variant[target] = sibling
+            if complete and variant != combo:
+                yield variant
+
+    # -- observability -----------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Counters for the pass-end ``reduction`` trace event."""
+        return {
+            "group_size": len(self.group),
+            "symmetry_classes": len(self.classes),
+            "orbits_enumerated": len(self._seen),
+            "orbit_hits": self.orbit_hits,
+            "renamed_hashes_cached": len(self._renamed_hash),
+        }

@@ -595,6 +595,55 @@ def content_hash_and_size(value: Any, intern: bool = True) -> Tuple[int, int]:
     return int.from_bytes(digest, "big"), len(encoded)
 
 
+def substitute_node_ids(value: Any, mapping: Dict[int, int]) -> Any:
+    """``value`` with every node id in ``mapping`` replaced, structurally.
+
+    A generic renaming walker over the hashable model vocabulary (primitives,
+    tuples, frozensets, mappings, frozen dataclasses), used as the default
+    ``rename_state`` of the symmetry contract (docs/REDUCTION.md).  Unchanged
+    subtrees are returned *by identity*, so renamed values keep sharing —
+    and hence interner entries — with their originals wherever possible.
+
+    Caveat: node ids are plain ``int``s, so this walker rewrites **every**
+    integer equal to a mapped node id, wherever it occurs.  That is only
+    correct when no other integer field of the state (a ballot number, a
+    slot index, a counter) can collide with a mapped id.  Protocols whose
+    states embed such ambiguous ints must implement ``rename_state``
+    themselves instead of relying on this default.
+    """
+    if not mapping:
+        return value
+    cls = value.__class__
+    if cls is bool or value is None or cls is str or cls is float or cls is bytes:
+        return value
+    if cls is int or (isinstance(value, int) and not isinstance(value, bool)):
+        return mapping.get(value, value)
+    if isinstance(value, tuple):
+        items = tuple(substitute_node_ids(item, mapping) for item in value)
+        if all(new is old for new, old in zip(items, value)):
+            return value
+        if hasattr(value, "_fields"):  # namedtuple
+            return cls(*items)
+        return items
+    if isinstance(value, frozenset):
+        items = frozenset(substitute_node_ids(item, mapping) for item in value)
+        return value if items == value else items
+    if isinstance(value, dict):
+        return {
+            substitute_node_ids(key, mapping): substitute_node_ids(item, mapping)
+            for key, item in value.items()
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        changes = {}
+        for field in dataclasses.fields(value):
+            old = getattr(value, field.name)
+            new = substitute_node_ids(old, mapping)
+            if new is not old:
+                changes[field.name] = new
+        return dataclasses.replace(value, **changes) if changes else value
+    return value
+
+
 def hash_many(values: Iterable[Any]) -> Dict[int, Any]:
     """Hash each value, returning a ``hash -> value`` mapping.
 

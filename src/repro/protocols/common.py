@@ -28,6 +28,21 @@ optional methods::
 :func:`declared_message_types` and :func:`declared_action_names` dispatch
 to them, returning ``None`` for protocols that declare nothing — coverage
 reports then show exercised handlers only, with no unexercised analysis.
+
+The **symmetry contract** (docs/REDUCTION.md) is the third optional hook
+family.  A protocol whose verdicts are invariant under renaming some of its
+nodes may declare those interchangeable classes::
+
+    def symmetry_classes(self):        # -> tuple of tuples of NodeId
+    def rename_state(self, state, mapping):  # state under a node renaming
+
+Declaring a class ``(a, b, ...)`` asserts full *equivariance*: renaming the
+class members everywhere (initial states, handlers, invariant) permutes
+executions without changing verdicts.  :func:`declared_symmetry_classes`
+and :func:`renamed_state` dispatch to the hooks; ``rename_state`` may be
+omitted when every occurrence of a node id inside the state is structurally
+distinguishable from other integers, in which case the generic walker
+:func:`repro.model.hashing.substitute_node_ids` is used (see its caveat).
 """
 
 from __future__ import annotations
@@ -92,6 +107,45 @@ def declared_action_names(protocol: Any) -> Optional[Tuple[str, ...]]:
     if hook is None:
         return None
     return tuple(hook())
+
+
+def declared_symmetry_classes(
+    protocol: Any,
+) -> Optional[Tuple[Tuple[NodeId, ...], ...]]:
+    """Node-symmetry classes the protocol declares (docs/REDUCTION.md).
+
+    Dispatches to the optional ``symmetry_classes()`` method.  Each class is
+    a tuple of node ids the protocol asserts are interchangeable: renaming
+    them consistently everywhere yields the same executions and verdicts.
+    Classes with fewer than two members are dropped (a singleton admits only
+    the identity renaming); ``None`` — no hook, or nothing left — means the
+    symmetry reducer stays disabled even when the config knob is on.
+    """
+    hook = getattr(protocol, "symmetry_classes", None)
+    if hook is None:
+        return None
+    classes = tuple(
+        tuple(members) for members in hook() if len(tuple(members)) >= 2
+    )
+    return classes or None
+
+
+def renamed_state(protocol: Any, state: Any, mapping: Any) -> Any:
+    """``state`` under the node renaming ``mapping`` (a NodeId → NodeId dict).
+
+    Dispatches to the protocol's optional ``rename_state(state, mapping)``
+    method.  Protocols whose states embed node ids ambiguously (a Paxos
+    ballot's proposer field is an int like any other) must implement the
+    hook; states where every node id is structurally distinguishable may
+    rely on the default, the generic structural walker
+    :func:`repro.model.hashing.substitute_node_ids`.
+    """
+    hook = getattr(protocol, "rename_state", None)
+    if hook is None:
+        from repro.model.hashing import substitute_node_ids
+
+        return substitute_node_ids(state, mapping)
+    return hook(state, mapping)
 
 
 #: A sorted immutable mapping as a tuple of (key, value) pairs.

@@ -68,6 +68,22 @@ class EchoProtocol(Protocol):
             return (Action(node=state.node, name="ping"),)
         return ()
 
+    # -- symmetry contract (docs/REDUCTION.md) --------------------------------
+
+    def symmetry_classes(self) -> Tuple[Tuple[NodeId, ...], ...]:
+        """Every responder (non-initiator) is interchangeable with the others.
+
+        Responders run identical code and the invariant reads only the
+        initiator's flag against anonymous pong activity, so renaming
+        responders permutes executions without changing verdicts.  Node ids
+        occur only in ``node`` and ``pongs_seen`` — both structurally
+        distinguishable — so the generic substitution walker renames states.
+        """
+        responders = tuple(
+            node for node in self._node_ids if node != self.initiator
+        )
+        return (responders,) if len(responders) >= 2 else ()
+
     def handle_action(self, state: EchoNodeState, action: Action) -> HandlerResult:
         if action.name != "ping" or state.pinged:
             return HandlerResult(state)

@@ -117,6 +117,87 @@ class PaxosProtocol(Protocol):
         """
         return replace(self.initial_state(node), acceptors=durable or ())
 
+    # -- symmetry contract (docs/REDUCTION.md) --------------------------------
+
+    def symmetry_classes(self) -> Tuple[Tuple[NodeId, ...], ...]:
+        """Passive nodes — those with no scripted proposal — are interchangeable.
+
+        A Paxos node's only asymmetries are its id (inside ballots, promise
+        sources and learn sources) and its driver queue; nodes the driver
+        never scripts run identical acceptor/learner code, so renaming them
+        everywhere permutes executions verbatim.  The agreement invariant
+        reads chosen values only, so verdicts are renaming-invariant.
+        """
+        proposers = {node for node, _index, _value in self.proposals}
+        passive = tuple(node for node in self._node_ids if node not in proposers)
+        return (passive,) if len(passive) >= 2 else ()
+
+    def rename_state(self, state: PaxosNodeState, mapping) -> PaxosNodeState:
+        """Rewrite exactly the node-id positions of a Paxos state.
+
+        Decree indexes and ballot rounds are plain ints too, so the generic
+        substitution walker would corrupt them; this hook renames only
+        ``state.node``, ballot proposers, promise sources and learn sources.
+        """
+
+        def node(n: NodeId) -> NodeId:
+            return mapping.get(n, n)
+
+        def ballot(b: Optional[Ballot]) -> Optional[Ballot]:
+            if b is None or b.proposer not in mapping:
+                return b
+            return Ballot(b.round, mapping[b.proposer])
+
+        proposers = tuple(
+            (
+                index,
+                replace(
+                    slot,
+                    ballot=ballot(slot.ballot),
+                    responses=tuple(
+                        replace(
+                            info,
+                            src=node(info.src),
+                            accepted_ballot=ballot(info.accepted_ballot),
+                        )
+                        for info in slot.responses
+                    ),
+                ),
+            )
+            for index, slot in state.proposers
+        )
+        acceptors = tuple(
+            (
+                index,
+                replace(
+                    slot,
+                    promised=ballot(slot.promised),
+                    accepted_ballot=ballot(slot.accepted_ballot),
+                ),
+            )
+            for index, slot in state.acceptors
+        )
+        learners = tuple(
+            (
+                index,
+                replace(
+                    slot,
+                    learns=frozenset(
+                        (node(src), ballot(b), value)
+                        for src, b, value in slot.learns
+                    ),
+                ),
+            )
+            for index, slot in state.learners
+        )
+        return replace(
+            state,
+            node=node(state.node),
+            proposers=proposers,
+            acceptors=acceptors,
+            learners=learners,
+        )
+
     # -- coverage contract (docs/OBSERVABILITY.md "Live operations") ----------
 
     def coverage_message_types(self) -> Tuple[str, ...]:

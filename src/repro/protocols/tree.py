@@ -124,6 +124,33 @@ class TreeProtocol(Protocol):
         )
         return HandlerResult(new_state, self._forwards(state.node))
 
+    # -- symmetry contract (docs/REDUCTION.md) --------------------------------
+
+    def symmetry_classes(self) -> Tuple[Tuple[NodeId, ...], ...]:
+        """Sibling leaves — same parent, neither origin nor target — commute.
+
+        Topology is part of the protocol, so a renaming is a symmetry only
+        when it maps the ``children`` relation onto itself: leaves are
+        interchangeable exactly when they hang off the *same* parent and
+        neither is the distinguished origin or target.  The Fig. 2 default
+        topology has no such pair (leaf 1's sibling is interior, leaf 3's
+        sibling is the target), so this hook declares nothing there — wider
+        fan-outs (several plain leaves under one parent) do yield classes.
+        A ``TreeNodeState`` is all booleans beside ``node``, so the generic
+        substitution walker serves as ``rename_state``.
+        """
+        classes = []
+        special = {self.origin, self.target}
+        for _parent, kids in sorted(self.children.items()):
+            plain_leaves = tuple(
+                kid
+                for kid in kids
+                if kid not in self.children and kid not in special
+            )
+            if len(plain_leaves) >= 2:
+                classes.append(plain_leaves)
+        return tuple(classes)
+
     def _forwards(self, node: NodeId) -> Tuple[Message, ...]:
         return tuple(
             Message(dest=child, src=node, payload=Payload(final_target=self.target))

@@ -103,6 +103,31 @@ class TwoPhaseCommit(Protocol):
         """Boot from the initial state with the decision record recovered."""
         return replace(self.initial_state(node), decided=durable)
 
+    # -- symmetry contract (docs/REDUCTION.md) --------------------------------
+
+    def symmetry_classes(self) -> Tuple[Tuple[NodeId, ...], ...]:
+        """Participants scripted with the same vote are interchangeable.
+
+        The coordinator is structurally distinguished (it tallies and
+        decides), so it joins no class; among the other participants the
+        script is the only asymmetry, splitting them into a yes-voter class
+        and a no-voter class.  No ``rename_state`` is needed: a 2PC state
+        holds node ids only in ``node`` and the vote sources, both
+        structurally distinguishable ints, so the generic substitution
+        walker renames it correctly.
+        """
+        yes = tuple(
+            node
+            for node in self._node_ids
+            if node != self.coordinator and node not in self.no_voters
+        )
+        no = tuple(
+            node
+            for node in self._node_ids
+            if node != self.coordinator and node in self.no_voters
+        )
+        return tuple(cls for cls in (yes, no) if len(cls) >= 2)
+
     def handle_action(self, state: TwoPhaseNodeState, action: Action) -> HandlerResult:
         if action.name != "begin" or state.started:
             return HandlerResult(state)

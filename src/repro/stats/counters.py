@@ -69,6 +69,13 @@ class ExplorationStats:
     #: state already in ``LS_n`` (cross-shard rediscoveries suppressed into
     #: a predecessor pointer, exactly as serial dedup would).
     explore_merge_conflicts_suppressed: int = 0
+    #: Candidate system-state combinations skipped because another member of
+    #: their symmetry orbit was already checked (docs/REDUCTION.md); zero
+    #: unless ``LMCConfig.symmetry_reduction`` is on.
+    symmetry_skips: int = 0
+    #: Non-canonical predecessor pointers suppressed by commutativity
+    #: pruning (docs/REDUCTION.md); zero unless ``LMCConfig.por_pruning``.
+    por_links_suppressed: int = 0
     #: Wall-clock seconds attributed to each checker phase; keys are phase
     #: names such as "explore", "system_states", "soundness" (Fig. 13).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -103,6 +110,8 @@ class ExplorationStats:
             "explore_merge_conflicts_suppressed": (
                 self.explore_merge_conflicts_suppressed
             ),
+            "symmetry_skips": self.symmetry_skips,
+            "por_links_suppressed": self.por_links_suppressed,
             **{f"phase_{name}_s": secs for name, secs in self.phase_seconds.items()},
         }
 
@@ -131,5 +140,7 @@ class ExplorationStats:
         self.explore_merge_conflicts_suppressed += (
             other.explore_merge_conflicts_suppressed
         )
+        self.symmetry_skips += other.symmetry_skips
+        self.por_links_suppressed += other.por_links_suppressed
         for phase, seconds in other.phase_seconds.items():
             self.add_phase_time(phase, seconds)

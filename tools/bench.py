@@ -22,6 +22,15 @@ serial/parallel speedup are recorded; the payload also records ``cpus`` so
 a reader can tell a real speedup environment from a single-core container,
 where the speculative executor can only break even at best.
 
+A fourth leg (on by default; ``--no-reduction`` disables) reruns every
+workload with symmetry reduction and commutativity pruning on
+(docs/REDUCTION.md).  Reduction legitimately shrinks visit counts, so this
+leg gates only verdicts and bug sets and records ``reduction_ratio`` —
+unreduced over reduced ``system_states_created``.  The dedicated
+``paxos_sym`` workload (four nodes, three interchangeable acceptors, LMC-GEN)
+must show at least the 2x ratio the reduction promises; the gate is
+count-based and therefore deterministic.
+
 The harness *asserts* that all modes produce identical counters, verdicts
 and witness traces — the caches are required to be semantics-preserving —
 and exits non-zero on any divergence, which is what the CI perf-smoke job
@@ -67,6 +76,10 @@ EXPLORE_ONLY_KEYS = frozenset(
         "explore_merge_conflicts_suppressed",
     }
 )
+#: And these count the reduction machinery (docs/REDUCTION.md): orbit skips
+#: and suppressed delivery orderings are zero with the knobs off and are
+#: reported in the ``reduced`` leg's own section, not in ``counts``.
+REDUCTION_ONLY_KEYS = frozenset({"symmetry_skips", "por_links_suppressed"})
 
 #: Depths for the Fig. 10 sweep.  ``max_depth`` bounds *per-node* discovery
 #: depth, which saturates around 9 on the single-proposal space, so this
@@ -120,6 +133,24 @@ def _build_checker(workload: str, config_overrides: Dict[str, Any]):
                 else SearchBudget.unbounded()
             )
         return LocalModelChecker(protocol, invariant, budget, config), None
+
+    if workload == "paxos_sym":
+        # The symmetry-reduction workload (docs/REDUCTION.md): four nodes,
+        # one scripted proposer, so the three passive acceptors form one
+        # symmetry class (group size 6).  LMC-GEN so the full Cartesian
+        # product is actually enumerated — LMC-OPT on the correct protocol
+        # creates no system states at all, leaving nothing to reduce — and
+        # depth-bounded because the four-node product explodes past d=4.
+        from repro.protocols.paxos import PaxosAgreement, PaxosProtocol
+
+        protocol = PaxosProtocol(num_nodes=4, proposals=((0, 0, "v0"),))
+        config = LMCConfig.general(**config_overrides)
+        return (
+            LocalModelChecker(
+                protocol, PaxosAgreement(0), SearchBudget(max_depth=4), config
+            ),
+            None,
+        )
 
     if workload == "paxos_faults":
         # Crash–restart scheduling on (docs/FAULTS.md): the single-proposal
@@ -190,6 +221,11 @@ def _run_child(workload: str, mode: str) -> None:
             "explore_round_threshold": 32,
             "explore_shard_min": 8,
         }
+    elif mode == "reduced":
+        # Symmetry + commutativity reduction on top of the cached defaults
+        # (docs/REDUCTION.md).  Visit counts legitimately shrink, so this
+        # leg is gated on verdicts and bug sets, never on counts.
+        overrides = {"symmetry_reduction": True, "por_pruning": True}
     else:
         overrides = {}
 
@@ -230,6 +266,7 @@ def _run_child(workload: str, mode: str) -> None:
         if not key.startswith(NONDETERMINISTIC_KEYS)
         and key not in CACHE_ONLY_KEYS
         and key not in EXPLORE_ONLY_KEYS
+        and key not in REDUCTION_ONLY_KEYS
     }
     report = {
         "wall_s": wall_s,
@@ -239,6 +276,8 @@ def _run_child(workload: str, mode: str) -> None:
             "max_crashes_per_node": checker.config.max_crashes_per_node,
             "max_total_crashes": checker.config.max_total_crashes,
             "explore_workers": checker.config.explore_workers,
+            "symmetry_reduction": checker.config.symmetry_reduction,
+            "por_pruning": checker.config.por_pruning,
         },
         "counts": counts,
         "completed": result.completed,
@@ -250,6 +289,9 @@ def _run_child(workload: str, mode: str) -> None:
         },
         "explore": {
             key: result.stats.snapshot()[key] for key in sorted(EXPLORE_ONLY_KEYS)
+        },
+        "reduction": {
+            key: result.stats.snapshot()[key] for key in sorted(REDUCTION_ONLY_KEYS)
         },
     }
     json.dump(report, sys.stdout)
@@ -314,8 +356,19 @@ def _compare_modes(
     return errors
 
 
+def _reduction_ratio(
+    base_counts: Dict[str, Any], reduced_counts: Dict[str, Any]
+) -> Optional[float]:
+    """Unreduced/reduced ``system_states_created`` (None when nothing ran)."""
+    base = base_counts.get("system_states_created", 0)
+    reduced = reduced_counts.get("system_states_created", 0)
+    if base == 0 or reduced == 0:
+        return None
+    return round(base / reduced, 3)
+
+
 def run_suite(
-    workloads: List[str], repeat: int, explore_workers: int
+    workloads: List[str], repeat: int, explore_workers: int, reduction: bool
 ) -> Dict[str, Any]:
     results: Dict[str, Any] = {}
     errors: List[str] = []
@@ -368,6 +421,38 @@ def run_suite(
                 f"[bench]   explore({explore_workers}w)={explore['wall_s']:.3f}s "
                 f"speedup_vs_serial={speedup_explore}x "
                 f"rounds={explore['explore']['explore_rounds_parallel']}",
+                flush=True,
+            )
+        if reduction:
+            # Symmetry + commutativity reduction on (docs/REDUCTION.md).
+            # Visit counts legitimately shrink, so unlike the other legs
+            # this one gates only the verdict and the bug set; the witness
+            # may be the orbit's canonical representative rather than the
+            # unreduced run's, so traces are not compared either.
+            reduced = _measure(workload, "reduced", repeat)
+            for field in ("completed", "bugs"):
+                if cached[field] != reduced[field]:
+                    errors.append(
+                        f"{workload}: {field} diverge between cached and "
+                        f"reduced modes:\n  cached:  {cached[field]}\n"
+                        f"  reduced: {reduced[field]}"
+                    )
+            ratio = _reduction_ratio(cached["counts"], reduced["counts"])
+            results[workload]["reduced"] = {
+                "config": reduced["config"],
+                "wall_s": round(reduced["wall_s"], 4),
+                "system_states_created": reduced["counts"].get(
+                    "system_states_created", 0
+                ),
+                "soundness_calls": reduced["counts"].get("soundness_calls", 0),
+                "counters": reduced["reduction"],
+                "reduction_ratio": ratio,
+            }
+            print(
+                f"[bench]   reduced={reduced['wall_s']:.3f}s "
+                f"reduction_ratio={ratio}x "
+                f"skips={reduced['reduction']['symmetry_skips']} "
+                f"por={reduced['reduction']['por_links_suppressed']}",
                 flush=True,
             )
     if errors:
@@ -426,6 +511,13 @@ def main() -> None:
         help="also run each workload with N-worker parallel exploration and "
         "gate its counts against the serial run (0 skips the leg)",
     )
+    parser.add_argument(
+        "--no-reduction",
+        action="store_true",
+        help="skip the symmetry/commutativity reduction leg "
+        "(docs/REDUCTION.md); on by default so BENCH_lmc.json records "
+        "reduction_ratio per workload",
+    )
     args = parser.parse_args()
 
     if args.child:
@@ -433,7 +525,13 @@ def main() -> None:
         return
 
     if args.quick:
-        workloads = ["paxos_opt", "fig10_d6", "s55_snapshot", "paxos_faults"]
+        workloads = [
+            "paxos_opt",
+            "fig10_d6",
+            "s55_snapshot",
+            "paxos_faults",
+            "paxos_sym",
+        ]
         repeat = max(1, min(args.repeat, 2))
     else:
         workloads = [
@@ -444,10 +542,13 @@ def main() -> None:
             "s56_onepaxos",
             "paxos_faults",
             "paxos2_d6",
+            "paxos_sym",
         ]
         repeat = args.repeat
 
-    results = run_suite(workloads, repeat, max(0, args.explore_workers))
+    results = run_suite(
+        workloads, repeat, max(0, args.explore_workers), not args.no_reduction
+    )
 
     # Write the report before any gating so a failing gate still leaves the
     # measurements on disk (CI uploads them as an artifact either way).
@@ -474,6 +575,17 @@ def main() -> None:
             raise SystemExit(
                 f"paxos_opt speedup {speedup}x below the 2x target "
                 "(rerun on an idle machine, or pass --no-speedup-gate)"
+            )
+
+    # The reduction gate is count-based, hence deterministic — unlike the
+    # wall-clock speedup it is safe to assert even on noisy CI runners.
+    sym_entry = results.get("paxos_sym", {}).get("reduced")
+    if sym_entry is not None:
+        ratio = sym_entry["reduction_ratio"]
+        if ratio is None or ratio < 2.0:
+            raise SystemExit(
+                f"paxos_sym reduction_ratio {ratio}x below the 2x target "
+                "(symmetry reduction regressed; see docs/REDUCTION.md)"
             )
 
 

@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
-"""Fail on dead relative links in markdown docs.
+"""Fail on dead relative links, dead anchors, and dead code refs in docs.
 
-Scans the given markdown files (default: docs/*.md and README.md) for
-inline links ``[text](target)`` whose target is a relative path, resolves
-each against the containing file's directory, and exits non-zero listing
-every target that does not exist.  External (``http(s)://``, ``mailto:``)
-and pure-anchor (``#...``) links are ignored; a ``#fragment`` suffix on a
-file link is stripped before the existence check.
+Scans the given markdown files (default: docs/*.md and README.md) for:
+
+* inline links ``[text](target)`` whose target is a relative path —
+  resolved against the containing file's directory; external
+  (``http(s)://``, ``mailto:``) links are ignored;
+* ``#fragment`` anchors on those links (and pure ``#...`` self links) —
+  validated against the GitHub-style slugs of the target file's headings;
+* backticked code references that look like repository paths
+  (`` `src/...` ``, `` `tools/...` ``, `` `tests/...` ``,
+  `` `docs/...` ``, `` `repro/...` ``, or any backticked token ending in
+  ``.py`` / ``.md`` / ``.json`` with a directory separator) — checked for
+  existence from the repository root, so a doc cannot keep pointing at a
+  module that was moved or deleted.
+
+Exits non-zero listing every violation.
 
 Usage::
 
@@ -23,24 +32,115 @@ from pathlib import Path
 #: or angle-bracket targets are used in this repository's docs.
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+#: ATX headings, for anchor validation.
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+#: Backticked tokens that look like repository file references.  Two
+#: shapes: rooted in a known top-level directory, or any path-like token
+#: with a checkable suffix.  Trailing ``:line`` qualifiers are allowed.
+CODE_REF = re.compile(
+    r"`((?:src|tools|tests|docs|benchmarks|examples)/[\w./-]+"
+    r"|[\w-]+(?:/[\w.-]+)+\.(?:py|md|json))(?::\d+)?`"
+)
+
+#: Code-ref prefixes that name packages as *imported*, not as checked out:
+#: ``repro/...`` maps to ``src/repro/...``.
+CODE_REF_ALIASES = {"repro": "src/repro"}
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
-def dead_links(path: Path) -> list:
-    """(line number, target) pairs in ``path`` that resolve nowhere."""
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading.
+
+    Lowercase; markup characters (backticks, emphasis) and punctuation
+    dropped; spaces become hyphens.  This matches GitHub's slugger closely
+    enough for the ASCII-plus-section-signs headings this repository uses.
+    """
+    text = heading.strip().lower()
+    # Strip inline code/emphasis markers but keep their contents
+    # (underscores survive: GitHub slugs `BENCH_lmc` as bench_lmc).
+    text = text.replace("`", "").replace("*", "")
+    # Markdown links in headings contribute only their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    out = []
+    for char in text:
+        if char.isalnum() or char in ("-", "_"):
+            out.append(char)
+        elif char == " ":
+            out.append("-")
+        # Everything else (punctuation, →, §, parens, dots) is dropped.
+    return "".join(out)
+
+
+def heading_slugs(path: Path, cache: dict) -> set:
+    """All anchor slugs defined by ``path``'s headings (with -1 dedup)."""
+    cached = cache.get(path)
+    if cached is not None:
+        return cached
+    slugs: set = set()
+    counts: dict = {}
+    in_fence = False
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        cache[path] = slugs
+        return slugs
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        slugs.add(slug if seen == 0 else f"{slug}-{seen}")
+    cache[path] = slugs
+    return slugs
+
+
+def dead_links(path: Path, root: Path, slug_cache: dict) -> list:
+    """(line number, problem) pairs for ``path``."""
     found = []
+    in_fence = False
     for lineno, line in enumerate(
         path.read_text(encoding="utf-8").splitlines(), start=1
     ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
         for match in LINK.finditer(line):
             target = match.group(1)
             if target.startswith(SKIP_PREFIXES):
                 continue
-            relative = target.split("#", 1)[0]
-            if not relative:
+            relative, _, fragment = target.partition("#")
+            dest = path if not relative else (path.parent / relative)
+            if not dest.exists():
+                found.append((lineno, f"dead link: {target}"))
                 continue
-            if not (path.parent / relative).exists():
-                found.append((lineno, target))
+            if fragment and dest.suffix == ".md":
+                if fragment not in heading_slugs(dest, slug_cache):
+                    found.append(
+                        (lineno, f"dead anchor: {target} (no such heading)")
+                    )
+        if in_fence:
+            continue
+        for match in CODE_REF.finditer(line):
+            ref = match.group(1)
+            head = ref.split("/", 1)[0]
+            resolved = CODE_REF_ALIASES.get(head)
+            candidates = [
+                root / (resolved + ref[len(head):]) if resolved else root / ref,
+                # Package-relative refs (`core/checker.py`, `model/events.py`)
+                # name modules as seen from inside the installed package.
+                root / "src" / "repro" / ref,
+            ]
+            if not any(candidate.exists() for candidate in candidates):
+                found.append((lineno, f"dead code ref: `{ref}`"))
     return found
 
 
@@ -51,18 +151,21 @@ def main(argv: list) -> int:
     else:
         files = sorted(root.glob("docs/*.md")) + [root / "README.md"]
     broken = 0
+    slug_cache: dict = {}
     for path in files:
         if not path.exists():
             print(f"{path}: file not found", file=sys.stderr)
             broken += 1
             continue
-        for lineno, target in dead_links(path):
-            print(f"{path}:{lineno}: dead link: {target}", file=sys.stderr)
+        for lineno, problem in dead_links(path, root, slug_cache):
+            print(f"{path}:{lineno}: {problem}", file=sys.stderr)
             broken += 1
     if broken:
-        print(f"{broken} dead link(s)", file=sys.stderr)
+        print(f"{broken} problem(s)", file=sys.stderr)
         return 1
-    print(f"checked {len(files)} file(s): all relative links resolve")
+    print(
+        f"checked {len(files)} file(s): links, anchors and code refs resolve"
+    )
     return 0
 
 
