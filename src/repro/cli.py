@@ -24,10 +24,12 @@ operations" section for the run registry.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.checker import LocalModelChecker
+from repro.core.checkpoint import Checkpointer, CheckpointError, load_checkpoint
 from repro.core.config import LMCConfig
 from repro.core.parallel import ParallelLocalModelChecker
 from repro.explore.budget import SearchBudget
@@ -242,6 +244,31 @@ def build_parser() -> argparse.ArgumentParser:
             "from the predecessor DAG (LMC algorithms only; see "
             "docs/REDUCTION.md)",
         )
+        command.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            metavar="N",
+            help="write a durable checker checkpoint every N exploration "
+            "rounds (lmc-gen/lmc-opt only; a final snapshot and a "
+            "SIGTERM snapshot are always written once checkpointing is "
+            "on — see docs/CHECKPOINTS.md)",
+        )
+        command.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            default=None,
+            help="checkpoint file path (default: <run dir>/checkpoint.json "
+            "when the run is registered; implies checkpointing on)",
+        )
+        command.add_argument(
+            "--extend-from",
+            metavar="PATH",
+            default=None,
+            help="extend a completed depth-bounded run from its checkpoint: "
+            "explore only the frontier the new --max-depth unblocks "
+            "(see docs/CHECKPOINTS.md)",
+        )
 
     check = sub.add_parser("check", help="model check a named workload")
     add_check_flags(check)
@@ -288,7 +315,41 @@ def build_parser() -> argparse.ArgumentParser:
     runs = sub.add_parser(
         "runs", help="list registered runs (live and finished)"
     )
+    runs.add_argument(
+        "--gc",
+        action="store_true",
+        help="before listing, delete finished runs' leftover checkpoints "
+        "(in-flight and killed runs keep theirs — they are resume points)",
+    )
     add_reader_flags(runs)
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a checkpointed run where it stopped "
+        "(see docs/CHECKPOINTS.md)",
+    )
+    resume.add_argument(
+        "run_id",
+        nargs="?",
+        default=None,
+        help="run id (default: latest run with a checkpoint)",
+    )
+    resume.add_argument(
+        "--from",
+        dest="resume_path",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file (default: the run's checkpoint.json)",
+    )
+    resume.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="replace the original wall-clock budget (the other bounds "
+        "must match the checkpoint and are taken from the original "
+        "command line)",
+    )
+    add_reader_flags(resume)
 
     status = sub.add_parser(
         "status",
@@ -343,12 +404,16 @@ def _make_run_context(
     coverage = CoverageTracker() if getattr(args, "coverage", False) else None
     if not getattr(args, "registry", True):
         return None, coverage
+    extra: Dict[str, Any] = {}
+    if getattr(args, "resumed_from", None):
+        extra["resumed_from"] = args.resumed_from
     try:
         handle = RunRegistry(getattr(args, "registry_root", None)).register(
             command=args.command,
             workload=getattr(args, "workload", None) or getattr(args, "name", None),
             algorithm=getattr(args, "algorithm", None),
             argv=list(argv) if argv is not None else sys.argv[1:],
+            **extra,
         )
     except OSError as exc:
         print(f"warning: cannot register run: {exc}", file=sys.stderr)
@@ -391,6 +456,26 @@ def run_check(
         fault_overrides["explore_workers"] = (
             None if explore_workers < 0 else explore_workers
         )
+    # Checkpointing (docs/CHECKPOINTS.md): any of the three flags turns the
+    # snapshot layer on; the file defaults into the registry run directory
+    # so `repro resume <run_id>` finds it without extra bookkeeping.
+    checkpoint_path = getattr(args, "checkpoint", None)
+    checkpoint_every = getattr(args, "checkpoint_every", None)
+    extend_from = getattr(args, "extend_from", None)
+    resume_from = getattr(args, "resume_from", None)
+    checkpointer = None
+    if checkpoint_path or checkpoint_every or extend_from or resume_from:
+        if args.algorithm not in ("lmc-gen", "lmc-opt"):
+            raise CheckpointError(
+                "checkpoints require --algorithm lmc-gen or lmc-opt"
+            )
+        if checkpoint_path is None:
+            checkpoint_path = (
+                os.path.join(run_handle.directory, "checkpoint.json")
+                if run_handle is not None
+                else f"{args.workload}.checkpoint.json"
+            )
+        checkpointer = Checkpointer(checkpoint_path, every_rounds=checkpoint_every)
     if args.algorithm == "bdfs":
         # The fault scheduler is an LMC feature (docs/FAULTS.md); B-DFS
         # explores the paper's original event vocabulary — it registers
@@ -423,8 +508,14 @@ def run_check(
             metrics_interval=interval,
             run_handle=run_handle,
             coverage=coverage,
+            checkpointer=checkpointer,
         )
-    result = checker.run()
+    if resume_from:
+        result = checker.resume(load_checkpoint(resume_from))
+    elif extend_from:
+        result = checker.extend_depth(load_checkpoint(extend_from))
+    else:
+        result = checker.run()
     if run_handle is not None and coverage is not None:
         run_handle.write_coverage(checker.coverage_report())
     return result
@@ -479,6 +570,68 @@ def run_scenario(
     return result
 
 
+def _prepare_resume(
+    args: argparse.Namespace,
+) -> Optional[Tuple[argparse.Namespace, list]]:
+    """Turn ``repro resume <run_id>`` into the original check invocation.
+
+    The registry's ``meta.json`` stores the run's argv; reparsing it
+    rebuilds the exact workload, configuration and budget the checkpoint
+    fingerprints.  Returns the rebuilt args (with ``resume_from`` set for
+    :func:`run_check`) and the original argv (recorded on the new run so
+    *it* can be resumed in turn), or None after printing an error.
+    """
+    registry = RunRegistry(getattr(args, "registry_root", None))
+    if args.run_id:
+        record = registry.load(args.run_id)
+        if record is None:
+            print(f"error: no run {args.run_id} under {registry.root}", file=sys.stderr)
+            return None
+    else:
+        record = next(
+            (r for r in reversed(registry.list_runs()) if r.has_checkpoint()),
+            None,
+        )
+        if record is None:
+            print(
+                f"error: no checkpointed runs under {registry.root}",
+                file=sys.stderr,
+            )
+            return None
+    path = args.resume_path or record.checkpoint_path
+    if not os.path.isfile(path):
+        print(
+            f"error: run {record.run_id} has no checkpoint at {path} "
+            "(was it started with --checkpoint-every / --checkpoint?)",
+            file=sys.stderr,
+        )
+        return None
+    saved_argv = record.meta.get("argv")
+    if not saved_argv:
+        print(
+            f"error: run {record.run_id} recorded no argv; "
+            "resume it manually with `repro check ... --extend-from`-style flags",
+            file=sys.stderr,
+        )
+        return None
+    saved_args = build_parser().parse_args(saved_argv)
+    if saved_args.command not in ("check", "trace"):
+        print(
+            f"error: run {record.run_id} ran `{saved_args.command}`, "
+            "which is not resumable",
+            file=sys.stderr,
+        )
+        return None
+    if args.max_seconds is not None:
+        saved_args.max_seconds = args.max_seconds
+    if getattr(args, "registry_root", None) is not None:
+        saved_args.registry_root = args.registry_root
+    saved_args.resume_from = path
+    saved_args.resumed_from = record.run_id
+    saved_args.extend_from = None
+    return saved_args, list(saved_argv)
+
+
 def _load_run(args: argparse.Namespace) -> Tuple[RunRegistry, Optional[RunRecord]]:
     """Resolve the run a reader command addresses (explicit id or latest)."""
     registry = RunRegistry(getattr(args, "registry_root", None))
@@ -490,6 +643,11 @@ def _load_run(args: argparse.Namespace) -> Tuple[RunRegistry, Optional[RunRecord
 def run_runs(args: argparse.Namespace) -> int:
     """``repro runs``: one row per registered run, newest last."""
     registry = RunRegistry(args.registry_root)
+    if getattr(args, "gc", False):
+        pruned = registry.gc_checkpoints()
+        for path in pruned:
+            print(f"pruned {path}")
+        print(f"pruned {len(pruned)} stale checkpoint(s)")
     records = registry.list_runs()
     if not records:
         print(f"no runs registered under {registry.root}")
@@ -563,6 +721,13 @@ def render_status(record: RunRecord) -> str:
             )
         if "elapsed_s" in heartbeat:
             lines.append(f"elapsed       : {heartbeat['elapsed_s']:.1f}s")
+        checkpoint = heartbeat.get("checkpoint")
+        if isinstance(checkpoint, dict):
+            lines.append(
+                f"last checkpoint: round {checkpoint.get('round', '-')} "
+                f"({checkpoint.get('writes', '-')} writes, "
+                f"{checkpoint.get('path', '-')})"
+            )
     # Progress/ETA describe an in-flight run; once a result exists the
     # estimate is history, not a forecast.
     progress = (heartbeat.get("progress") or {}) if record.result is None else {}
@@ -702,6 +867,11 @@ def main(argv: Optional[list] = None) -> int:
         return run_coverage(args)
     if args.command == "serve-status":
         return run_serve_status(args)
+    if args.command == "resume":
+        prepared = _prepare_resume(args)
+        if prepared is None:
+            return 2
+        args, argv = prepared
     try:
         emitter = _make_emitter(args)
     except OSError as exc:
@@ -732,6 +902,11 @@ def main(argv: Optional[list] = None) -> int:
             stop_reason=result.stop_reason,
             bugs=len(result.bugs),
         )
+    except CheckpointError as exc:
+        if run_handle is not None:
+            run_handle.finish(status="failed", error=str(exc))
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BaseException as exc:
         if run_handle is not None:
             run_handle.finish(status="failed", error=repr(exc))

@@ -36,6 +36,15 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.checkpoint import (
+    Checkpointer,
+    CheckpointMismatch,
+    apply_stats,
+    decode_initial_system,
+    restore_pass,
+    snapshot_pass,
+    verify_fingerprint,
+)
 from repro.core.config import LMCConfig
 from repro.core.explore_parallel import RoundSpeculator, SpecExec
 from repro.core.records import (
@@ -86,6 +95,7 @@ from repro.obs.emitter import NULL_EMITTER, TraceEmitter
 from repro.obs.metrics import RunMetrics
 from repro.obs.progress import estimate_progress
 from repro.obs.registry import RunHandle
+from repro.persistence import bug_from_dict
 from repro.reports import BugReport, CheckResult
 from repro.stats.counters import ExplorationStats
 from repro.stats.series import DepthSeries
@@ -116,6 +126,7 @@ class LocalModelChecker:
         metrics_interval: Optional[float] = None,
         run_handle: Optional[RunHandle] = None,
         coverage: Optional[CoverageTracker] = None,
+        checkpointer: Optional[Checkpointer] = None,
     ):
         self.protocol = protocol
         self.invariant = invariant
@@ -135,6 +146,10 @@ class LocalModelChecker:
         #: Coverage tracker (:mod:`repro.obs.coverage`); ``None`` selects
         #: the shared zero-overhead null tracker.
         self.coverage = coverage if coverage is not None else NULL_COVERAGE
+        #: Durable-snapshot policy (docs/CHECKPOINTS.md); ``None`` — the
+        #: default — writes nothing and leaves the checker byte-identical
+        #: to a build without the checkpoint layer.
+        self.checkpointer = checkpointer
         self.algorithm = (
             "LMC-OPT"
             if config.invariant_specific_creation
@@ -172,34 +187,160 @@ class LocalModelChecker:
         result = CheckResult(
             algorithm=self.algorithm, completed=False, stats=total_stats
         )
-        bound = self.config.local_event_bound
-        while True:
-            run_pass = _ExplorationPass(self, initial_system, clock, bound)
-            with self.emitter.span(
-                "pass", algorithm=self.algorithm, local_event_bound=bound
-            ) as pass_span:
-                pass_outcome = run_pass.execute()
-                pass_span.add(
-                    stop_reason=pass_outcome.reason,
-                    transitions=run_pass.stats.transitions,
+        run_pass = _ExplorationPass(
+            self, initial_system, clock, self.config.local_event_bound
+        )
+        return self._run_loop(total_stats, result, run_pass)
+
+    def resume(self, payload: Dict[str, object]) -> CheckResult:
+        """Continue a checkpointed run to its original budget.
+
+        ``payload`` is a checkpoint loaded by
+        :func:`repro.core.checkpoint.load_checkpoint`.  The configuration
+        fingerprint and the deterministic budget bounds (``max_depth``,
+        ``max_transitions``, ``max_states``) must match the checkpoint —
+        mismatches raise :class:`CheckpointMismatch` instead of silently
+        exploring a different space.  ``max_seconds`` may differ: granting a
+        killed run more wall clock is the point of resuming; the budget
+        clock is pre-aged by the checkpointed elapsed time either way.
+
+        Checkpoints are written at round boundaries and the round sweep is
+        deterministic, so a resumed run finishes with counters identical to
+        the uninterrupted run's (rebuildable caches excepted — see
+        docs/CHECKPOINTS.md).
+        """
+        saved = payload["budget"]
+        for name in ("max_depth", "max_transitions", "max_states"):
+            if getattr(self.budget, name) != saved[name]:
+                raise CheckpointMismatch(
+                    f"resume requires the checkpointed budget: {name} was "
+                    f"{saved[name]!r}, this run has "
+                    f"{getattr(self.budget, name)!r}"
                 )
-            total_stats.merge(run_pass.stats)
-            result.bugs.extend(run_pass.bugs)
-            result.series = run_pass.series
-            if pass_outcome.stopped:
-                result.completed = pass_outcome.completed
-                result.stop_reason = pass_outcome.reason
-                return result
-            # The pass saturated within its bound.
-            if (
-                bound is None
-                or not run_pass.blocked_by_bound
-                or self.config.widen_increment == 0
-            ):
-                result.completed = True
-                result.stop_reason = pass_outcome.reason
-                return result
-            bound += self.config.widen_increment
+        total_stats, result, run_pass = self._restore(payload)
+        return self._run_loop(total_stats, result, run_pass)
+
+    def extend_depth(self, payload: Dict[str, object]) -> CheckResult:
+        """Explore only the frontier a larger depth bound unblocks.
+
+        ``payload`` must snapshot a *completed* depth-bounded pass; this
+        checker's budget carries the new, strictly larger (or removed)
+        ``max_depth``.  The restored pass re-offers exactly the deferred
+        (message, record) and (node, record) pairs the old bound blocked —
+        the incremental half of docs/CHECKPOINTS.md — instead of
+        re-executing the paid-for prefix.
+        """
+        if not payload.get("pass_completed"):
+            raise CheckpointMismatch(
+                "depth extension requires a checkpoint of a completed pass "
+                f"(this one stopped mid-pass: {payload.get('reason')!r}); "
+                "resume() continues an interrupted run"
+            )
+        saved = payload["budget"]
+        if saved["max_depth"] is None:
+            raise CheckpointMismatch(
+                "the checkpointed run was not depth-bounded; nothing to extend"
+            )
+        new_depth = self.budget.max_depth
+        if new_depth is not None and new_depth <= saved["max_depth"]:
+            raise CheckpointMismatch(
+                f"extension depth must exceed the checkpointed bound "
+                f"{saved['max_depth']} (got {new_depth})"
+            )
+        for name in ("max_transitions", "max_states"):
+            if getattr(self.budget, name) != saved[name]:
+                raise CheckpointMismatch(
+                    f"depth extension must keep the checkpointed {name} "
+                    f"({saved[name]!r}); this run has "
+                    f"{getattr(self.budget, name)!r}"
+                )
+        total_stats, result, run_pass = self._restore(payload)
+        run_pass._reoffer = True
+        # The old bound's blockage is stale under the new bound; the pass
+        # re-learns it from whatever the *new* bound defers.
+        run_pass._blocked_by_depth = False
+        return self._run_loop(total_stats, result, run_pass)
+
+    def _restore(self, payload: Dict[str, object]):
+        """Rebuild run-level state and the in-flight pass from a checkpoint."""
+        initial_system, registry = decode_initial_system(payload, self.protocol)
+        verify_fingerprint(
+            payload, self.protocol, self.invariant, self.config, initial_system
+        )
+        clock = BudgetClock(self.budget, already_elapsed=payload["elapsed_s"])
+        total_stats = ExplorationStats()
+        apply_stats(total_stats, payload["run"]["prior_stats"])
+        result = CheckResult(
+            algorithm=self.algorithm, completed=False, stats=total_stats
+        )
+        result.bugs.extend(
+            bug_from_dict(item, registry) for item in payload["run"]["prior_bugs"]
+        )
+        run_pass = _ExplorationPass(
+            self, initial_system, clock, payload["run"]["bound"]
+        )
+        restore_pass(run_pass, payload, registry)
+        return total_stats, result, run_pass
+
+    def _run_loop(
+        self,
+        total_stats: ExplorationStats,
+        result: CheckResult,
+        run_pass: "_ExplorationPass",
+    ) -> CheckResult:
+        """The widening pass loop, shared by run/resume/extend.
+
+        ``run_pass`` is the first pass to execute — freshly seeded for
+        :meth:`run`, checkpoint-restored for :meth:`resume` and
+        :meth:`extend_depth`.  The attached checkpointer's SIGTERM handler
+        is installed around the whole loop (cooperative: the flag is
+        checked at round boundaries, where a snapshot is always safe).
+        """
+        checkpointer = self.checkpointer
+        if checkpointer is not None:
+            checkpointer.install()
+        try:
+            while True:
+                # During a pass, ``total_stats``/``result.bugs`` hold exactly
+                # the earlier passes' counters and bugs (merge/extend happen
+                # below, after execute returns), which is what a mid-pass
+                # checkpoint must record as run-level context.
+                run_pass.prior_stats = total_stats
+                run_pass.prior_bugs = result.bugs
+                bound = run_pass.local_event_bound
+                with self.emitter.span(
+                    "pass", algorithm=self.algorithm, local_event_bound=bound
+                ) as pass_span:
+                    pass_outcome = run_pass.execute()
+                    pass_span.add(
+                        stop_reason=pass_outcome.reason,
+                        transitions=run_pass.stats.transitions,
+                    )
+                total_stats.merge(run_pass.stats)
+                result.bugs.extend(run_pass.bugs)
+                result.series = run_pass.series
+                if pass_outcome.stopped:
+                    result.completed = pass_outcome.completed
+                    result.stop_reason = pass_outcome.reason
+                    return result
+                # The pass saturated within its bound.
+                if (
+                    bound is None
+                    or not run_pass.blocked_by_bound
+                    or self.config.widen_increment == 0
+                ):
+                    result.completed = True
+                    result.stop_reason = pass_outcome.reason
+                    return result
+                run_pass = _ExplorationPass(
+                    self,
+                    run_pass.initial_system,
+                    run_pass.clock,
+                    bound + self.config.widen_increment,
+                )
+        finally:
+            if checkpointer is not None:
+                checkpointer.uninstall()
 
 
 class _PassOutcome:
@@ -293,6 +434,25 @@ class _ExplorationPass:
         #: Crash events executed so far, against ``max_total_crashes``.
         self._crashes_executed = 0
         self._seed_records: Dict[NodeId, NodeStateRecord] = {}
+        #: Depth-blocked (node, record index) pairs the local and fault
+        #: sweeps' cursors passed over; mirrors ``StoredMessage.deferred``
+        #: for internal and fault events.  Write-only bookkeeping in a
+        #: fixed-bound run; consumed by depth extension
+        #: (docs/CHECKPOINTS.md) under :attr:`_reoffer`.
+        self._local_deferred: Dict[NodeId, set] = {}
+        self._fault_deferred: Dict[NodeId, set] = {}
+        #: Run-level context preceding this pass — counters already merged
+        #: and bugs already confirmed by earlier widened passes — so a
+        #: mid-pass checkpoint can snapshot the whole run.  Rebound by
+        #: ``_run_loop`` before each execute.
+        self.prior_stats = ExplorationStats()
+        self.prior_bugs: List[BugReport] = []
+        #: True when this pass was rebuilt from a checkpoint: execute()
+        #: then skips seeding (the seeds are among the restored records).
+        self._restored = False
+        #: Depth-extension mode: round 1 re-offers every deferred pair the
+        #: old depth bound blocked, then the normal cursor sweeps take over.
+        self._reoffer = False
         # reverify_rejected extension: cached rejected combinations (an LRU
         # ordered dict, bounded by ``rejected_cache_limit``), indexed by the
         # (node, record index) pairs they contain.  Entry keys are monotone
@@ -337,8 +497,10 @@ class _ExplorationPass:
 
     def execute(self) -> _PassOutcome:
         """Run rounds to fixpoint, a stop criterion, or a confirmed bug."""
+        checkpointer = self.checker.checkpointer
         try:
-            self._seed()
+            if not self._restored:
+                self._seed()
             while True:
                 round_start = time.perf_counter()
                 checked_before = self._checking_seconds()
@@ -367,13 +529,41 @@ class _ExplorationPass:
                             ),
                         )
                 self._record_depth_sample()
+                # Checkpoints happen here and only here: a round boundary,
+                # still inside the pass (the ``finally`` below folds
+                # network counters into ``stats`` — a snapshot taken after
+                # it would double-fold them when the restored pass ends).
                 if executions == 0:
                     reason = (
                         "depth bound reached"
                         if self._blocked_by_depth
                         else "state space exhausted"
                     )
+                    if checkpointer is not None:
+                        checkpointer.write(
+                            snapshot_pass(
+                                self,
+                                reason="pass completed",
+                                pass_completed=True,
+                                pass_reason=reason,
+                            )
+                        )
+                        self._heartbeat_now()
                     return _PassOutcome(stopped=False, completed=True, reason=reason)
+                if checkpointer is not None and checkpointer.due(
+                    self.round_number, self.config
+                ):
+                    interrupted = checkpointer.stop_requested
+                    checkpointer.write(
+                        snapshot_pass(
+                            self, reason="sigterm" if interrupted else "cadence"
+                        )
+                    )
+                    self._heartbeat_now()
+                    if interrupted:
+                        raise _StopSearch(
+                            "interrupted (checkpoint written)", completed=False
+                        )
         except _StopSearch as stop:
             return _PassOutcome(
                 stopped=True, completed=stop.completed, reason=stop.reason
@@ -447,6 +637,8 @@ class _ExplorationPass:
         for node in self.space.node_ids:
             store = self.space.store(node)
             for stored in self.network.for_destination(node):
+                if self._reoffer and stored.deferred:
+                    executions += self._reoffer_deliveries(store, stored)
                 end = len(store)
                 if stored.cursor >= end:
                     continue
@@ -458,11 +650,17 @@ class _ExplorationPass:
                         # wait in ``I+`` for the restarted state.
                         continue
                     if not self._depth_allows(record):
+                        # The cursor has moved past this pair for good;
+                        # remember it so a depth extension can re-offer it.
+                        stored.deferred.add(index)
                         continue
                     executions += self._execute_delivery(record, stored)
         # Local events: internal actions of states not yet expanded.
         for node in self.space.node_ids:
             store = self.space.store(node)
+            deferred = self._local_deferred.get(node)
+            if self._reoffer and deferred:
+                executions += self._reoffer_locals(store, deferred, speculator)
             end = len(store)
             start = self._local_cursor[node]
             for index in range(start, end):
@@ -471,6 +669,7 @@ class _ExplorationPass:
                 if record.discarded or record.crashed:
                     continue
                 if not self._depth_allows(record):
+                    self._local_deferred.setdefault(node, set()).add(index)
                     continue
                 if (
                     self.local_event_bound is not None
@@ -478,26 +677,99 @@ class _ExplorationPass:
                 ):
                     self.blocked_by_bound = True
                     continue
-                hit = (
-                    speculator.internal_actions(record)
-                    if speculator is not None
-                    else None
-                )
-                if hit is not None:
-                    actions, outcomes = hit
-                    for action, outcome in zip(actions, outcomes):
-                        executions += self._execute_internal(
-                            record, action, spec=outcome
-                        )
-                else:
-                    for action in self.protocol.enabled_actions(record.state):
-                        executions += self._execute_internal(record, action)
+                executions += self._expand_local(record, speculator)
         # Fault events (docs/FAULTS.md): crash each eligible node state once,
         # restart each crashed marker record once.  Entirely absent — not
         # merely inert — when disabled, so the default run is byte-identical
         # to a build without the scheduler.
         if self.config.fault_events_enabled:
             executions += self._fault_round()
+        return executions
+
+    def _expand_local(self, record: NodeStateRecord, speculator) -> int:
+        """Execute every enabled internal action of one node state."""
+        executions = 0
+        hit = (
+            speculator.internal_actions(record) if speculator is not None else None
+        )
+        if hit is not None:
+            actions, outcomes = hit
+            for action, outcome in zip(actions, outcomes):
+                executions += self._execute_internal(record, action, spec=outcome)
+        else:
+            for action in self.protocol.enabled_actions(record.state):
+                executions += self._execute_internal(record, action)
+        return executions
+
+    # -- depth-extension re-offer (docs/CHECKPOINTS.md) --------------------------
+    #
+    # The cursor discipline advances past depth-blocked records for good,
+    # which is exactly right for a fixed bound — and exactly wrong for a
+    # bound that later grows.  The sweeps above record every blocked pair in
+    # a ``deferred`` set; these helpers, active only under ``_reoffer``
+    # (depth extension), drain the pairs the new bound unblocks.  A pair
+    # still blocked under the new bound stays deferred for a further
+    # extension; a pair whose record was discarded or crashed meanwhile is
+    # dropped, matching what the cursor sweep would have done.
+
+    def _reoffer_deliveries(self, store, stored: StoredMessage) -> int:
+        """Deliver ``stored`` to deferred records the new bound unblocked."""
+        executions = 0
+        for index in sorted(stored.deferred):
+            record = store.records[index]
+            if record.discarded or record.crashed:
+                stored.deferred.discard(index)
+                continue
+            if not self._depth_allows(record):
+                continue
+            stored.deferred.discard(index)
+            executions += self._execute_delivery(record, stored)
+        return executions
+
+    def _reoffer_locals(self, store, deferred: set, speculator) -> int:
+        """Expand deferred records the new bound unblocked."""
+        executions = 0
+        for index in sorted(deferred):
+            record = store.records[index]
+            if record.discarded or record.crashed:
+                deferred.discard(index)
+                continue
+            if not self._depth_allows(record):
+                continue
+            deferred.discard(index)
+            if (
+                self.local_event_bound is not None
+                and record.local_depth >= self.local_event_bound
+            ):
+                self.blocked_by_bound = True
+                continue
+            executions += self._expand_local(record, speculator)
+        return executions
+
+    def _reoffer_faults(self, store, deferred: set) -> int:
+        """Offer faults to deferred records the new bound unblocked.
+
+        Crash caps consume-and-drop, exactly like the cursor sweep: a
+        record over its crash budget gets no fault now or later.
+        """
+        executions = 0
+        for index in sorted(deferred):
+            record = store.records[index]
+            if record.discarded:
+                deferred.discard(index)
+                continue
+            if not self._depth_allows(record):
+                continue
+            deferred.discard(index)
+            if record.crashed:
+                executions += self._execute_restart(record)
+                continue
+            if record.crashes >= self.config.max_crashes_per_node:
+                continue
+            limit = self.config.max_total_crashes
+            if limit is not None and self._crashes_executed >= limit:
+                continue
+            executions += self._execute_crash(record)
         return executions
 
     def _fault_round(self) -> int:
@@ -513,6 +785,9 @@ class _ExplorationPass:
         executions = 0
         for node in self.space.node_ids:
             store = self.space.store(node)
+            deferred = self._fault_deferred.get(node)
+            if self._reoffer and deferred:
+                executions += self._reoffer_faults(store, deferred)
             end = len(store)
             start = self._fault_cursor[node]
             for index in range(start, end):
@@ -521,6 +796,7 @@ class _ExplorationPass:
                 if record.discarded:
                     continue
                 if not self._depth_allows(record):
+                    self._fault_deferred.setdefault(node, set()).add(index)
                     continue
                 if record.crashed:
                     executions += self._execute_restart(record)
@@ -1273,6 +1549,13 @@ class _ExplorationPass:
         snapshot["round"] = self.round_number
         snapshot["frontier"] = self._frontier_size()
         snapshot["algorithm"] = self.checker.algorithm
+        checkpointer = self.checker.checkpointer
+        if checkpointer is not None and checkpointer.last_round is not None:
+            snapshot["checkpoint"] = {
+                "path": checkpointer.path,
+                "round": checkpointer.last_round,
+                "writes": checkpointer.writes,
+            }
         points = [
             (sample.depth, sample.elapsed_s, sample.get("transitions"))
             for sample in self.series.samples
@@ -1284,6 +1567,22 @@ class _ExplorationPass:
         if handle.heartbeat(snapshot, force=force) and self.coverage.enabled:
             handle.write_coverage(self.checker.coverage_report())
 
+
+    def _heartbeat_now(self) -> None:
+        """Publish a heartbeat right after a checkpoint write.
+
+        Goes straight to :meth:`_heartbeat` with the current counters
+        rather than through ``metrics.sample`` — a checkpoint must update
+        the registry's last-checkpoint record without appending rows to
+        the deterministic depth series.
+        """
+        if self.run_handle is not None:
+            self._heartbeat(
+                self.explored_depth(),
+                self.clock.elapsed(),
+                self.stats.snapshot(),
+                force=True,
+            )
 
     def _record_depth_sample(self, force: bool = False) -> None:
         """Sample counters via :class:`~repro.obs.metrics.RunMetrics`.

@@ -1,0 +1,571 @@
+"""Durable checkpoints of the local model checker (docs/CHECKPOINTS.md).
+
+The monotonic abstraction makes LMC's state *worth* saving: ``LS`` and
+``I+`` only ever grow, so everything a run has paid for — node-state
+records with their predecessor DAG, the shared message log with per-message
+cursors, the counters — remains valid input for more exploration.  This
+module serializes that state into a versioned JSON envelope and restores it
+into a fresh :class:`~repro.core.checker._ExplorationPass`, which enables
+two features:
+
+* **resume** — a run killed (or stopped by SIGTERM/budget) at a round
+  boundary continues exactly where it stopped; because the serial sweep is
+  deterministic and checkpoints are only written at round boundaries, the
+  resumed run's final counters are byte-identical to an uninterrupted
+  run's (modulo the rebuildable caches listed below);
+* **depth extension** — a *completed* depth-``d`` run re-seeds a new run
+  to depth ``d' > d`` that explores only the newly unblocked frontier (the
+  depth-deferred pairs the sweeps recorded), instead of the whole prefix.
+
+What is serialized: every ``LS_n`` record (state value, hashes, depth
+metadata, history, predecessor links with their events, seed/discard/crash
+flags), the full ``I+`` log (message values, hashes, cursors, deferred
+pairs), all exploration counters and phase timers, the per-node sweep and
+fault cursors, the depth series, confirmed bugs, the collected-unverified
+and rejected-combination caches, symmetry-reduction orbit keys, and the
+widening/prior-pass context of the enclosing run.
+
+What is deliberately *not* serialized, because it is derived state rebuilt
+on demand: the soundness verifier's sequence/replay memos (cold memos only
+change ``*_cache_hits`` counters, never verdicts — the same contract the
+bench's cached-vs-uncached legs rely on), the projection cache and index
+(recomputed from the restored records in discovery order), the
+delivery-event-hash memo, the symmetry renamed-hash cache, and the
+parallel-exploration speculator (a fresh one re-ships the full ``I+`` log
+through its ordinary sync handshake).
+
+Model values round-trip through :mod:`repro.persistence`'s structural
+codec — the same closed class registry and versioned-envelope discipline as
+the bug corpus, so deserialization never executes arbitrary content.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import signal
+from typing import Any, Dict, List, Optional
+
+from repro.core.records import PredecessorLink
+from repro.model.hashing import content_hash
+from repro.persistence import (
+    ClassRegistry,
+    bug_from_dict,
+    bug_to_dict,
+    decode_event,
+    decode_system_state,
+    decode_value,
+    encode_event,
+    encode_system_state,
+    encode_value,
+    load_envelope,
+    registry_for_protocol,
+    save_envelope,
+)
+from repro.stats.counters import ExplorationStats
+from repro.stats.series import DepthSample
+
+#: On-disk format version; bump on any incompatible payload change.
+CHECKPOINT_FORMAT_VERSION = 1
+#: Envelope kind tag (see :func:`repro.persistence.save_envelope`).
+CHECKPOINT_KIND = "lmc-checkpoint"
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "Checkpointer",
+    "apply_stats",
+    "decode_initial_system",
+    "fingerprint",
+    "fingerprint_fields",
+    "load_checkpoint",
+    "registry_for_protocol",
+    "restore_pass",
+    "save_checkpoint",
+    "snapshot_pass",
+    "verify_fingerprint",
+]
+
+
+class CheckpointError(ValueError):
+    """A checkpoint payload is unreadable or structurally invalid."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """The checkpoint was written under an incompatible configuration.
+
+    Raised loudly instead of resuming: restoring a snapshot under a
+    different protocol, invariant, initial state or checker configuration
+    would silently produce counters and verdicts that belong to neither
+    run.
+    """
+
+
+# -- configuration fingerprint ---------------------------------------------------
+
+
+def _instance_config(obj: Any) -> Dict[str, str]:
+    """Stable view of an object's constructor-derived attributes."""
+    return {name: repr(value) for name, value in sorted(vars(obj).items())}
+
+
+def fingerprint_fields(
+    protocol: Any, invariant: Any, config: Any, initial_system: Any
+) -> Dict[str, Any]:
+    """The facts a resume must agree on, as a JSON-ready dictionary.
+
+    Protocols and invariants are regular classes, not dataclasses, so they
+    contribute their class identity plus a ``repr`` of every instance
+    attribute (plain configuration values by construction).  The initial
+    system contributes per-node content hashes — a pass seeded with a
+    crafted live snapshot (the §5.5 scenarios) must not resume a run
+    seeded from the protocol boot states.  Every :class:`LMCConfig` field
+    participates except ``checkpoint_every_rounds``: the cadence decides
+    *when* snapshots are written, never what is explored, so resuming
+    under a different cadence (or none) is sound.
+    """
+    return {
+        "protocol": f"{type(protocol).__module__}.{type(protocol).__qualname__}",
+        "protocol_config": _instance_config(protocol),
+        "invariant": f"{type(invariant).__module__}.{type(invariant).__qualname__}",
+        "invariant_config": _instance_config(invariant),
+        "initial_system": sorted(
+            (repr(node), content_hash(state))
+            for node, state in initial_system.items()
+        ),
+        "config": {
+            field.name: repr(getattr(config, field.name))
+            for field in dataclasses.fields(config)
+            if field.name != "checkpoint_every_rounds"
+        },
+    }
+
+
+def fingerprint(
+    protocol: Any, invariant: Any, config: Any, initial_system: Any
+) -> str:
+    """SHA-256 digest of :func:`fingerprint_fields` (canonical JSON)."""
+    canonical = json.dumps(
+        fingerprint_fields(protocol, invariant, config, initial_system),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# -- counters --------------------------------------------------------------------
+
+
+def _encode_stats(stats: ExplorationStats) -> Dict[str, Any]:
+    """All counter fields plus the phase timers, as plain JSON."""
+    return dataclasses.asdict(stats)
+
+
+def apply_stats(stats: ExplorationStats, encoded: Dict[str, Any]) -> None:
+    """Restore counters *in place* — the block is shared with the verifier
+    and metrics objects already bound to it."""
+    for field in dataclasses.fields(ExplorationStats):
+        if field.name == "phase_seconds":
+            stats.phase_seconds = dict(encoded["phase_seconds"])
+        else:
+            setattr(stats, field.name, encoded[field.name])
+
+
+# -- pass snapshot ---------------------------------------------------------------
+
+
+def _encode_record(record: Any) -> Dict[str, Any]:
+    return {
+        "state": encode_value(record.state),
+        "hash": record.hash,
+        "depth": record.depth,
+        "local_depth": record.local_depth,
+        "history": sorted(record.history),
+        "crashes": record.crashes,
+        "crashed": record.crashed,
+        "seed": record.seed,
+        "discarded": record.discarded,
+        "state_size": record.state_size,
+        "predecessors": [
+            {
+                "prev_hash": link.prev_hash,
+                "event": encode_event(link.event),
+                "event_hash": link.event_hash,
+                "consumed_hash": link.consumed_hash,
+                "generated_hashes": list(link.generated_hashes),
+            }
+            for link in record.predecessors
+        ],
+    }
+
+
+def _combo_rows(combo: Dict[Any, Any]) -> List[List[Any]]:
+    """A combination as sorted ``[node, record index]`` rows."""
+    return [[node, record.index] for node, record in sorted(combo.items())]
+
+
+def snapshot_pass(
+    pass_: Any,
+    reason: str,
+    pass_completed: bool = False,
+    pass_reason: str = "",
+    elapsed: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Serialize one exploration pass — plus its run context — to JSON.
+
+    Must be called at a round boundary (or after the pass completed): the
+    byte-identical-resume contract holds because the next round replays
+    from exactly this state.  ``elapsed`` overrides the clock reading, for
+    round-trip tests that need two snapshots of the same state to compare
+    equal.
+    """
+    checker = pass_.checker
+    budget = pass_.budget
+    symmetry = None
+    if pass_._symmetry is not None:
+        symmetry = {
+            "orbit_hits": pass_._symmetry.orbit_hits,
+            "seen": sorted(
+                [list(pair) for pair in key] for key in pass_._symmetry._seen
+            ),
+        }
+    nodes = pass_.space.node_ids
+    return {
+        "fingerprint": fingerprint(
+            checker.protocol, checker.invariant, checker.config, pass_.initial_system
+        ),
+        "algorithm": checker.algorithm,
+        "reason": reason,
+        "pass_completed": pass_completed,
+        "pass_reason": pass_reason,
+        "budget": {
+            "max_depth": budget.max_depth,
+            "max_seconds": budget.max_seconds,
+            "max_transitions": budget.max_transitions,
+            "max_states": budget.max_states,
+        },
+        "elapsed_s": pass_.clock.elapsed() if elapsed is None else elapsed,
+        "initial_system": encode_system_state(pass_.initial_system),
+        "run": {
+            "bound": pass_.local_event_bound,
+            "prior_stats": _encode_stats(pass_.prior_stats),
+            "prior_bugs": [bug_to_dict(bug) for bug in pass_.prior_bugs],
+        },
+        "pass": {
+            "round_number": pass_.round_number,
+            "blocked_by_bound": pass_.blocked_by_bound,
+            "blocked_by_depth": pass_._blocked_by_depth,
+            "crashes_executed": pass_._crashes_executed,
+            "retained_bytes": pass_._retained_bytes,
+            "stats": _encode_stats(pass_.stats),
+            "stores": [
+                [
+                    node,
+                    {
+                        "version": pass_.space.store(node).version,
+                        "records": [
+                            _encode_record(record)
+                            for record in pass_.space.store(node).records
+                        ],
+                    },
+                ]
+                for node in nodes
+            ],
+            "network": {
+                "suppressed_duplicates": pass_.network.suppressed_duplicates,
+                "retained_bytes": pass_.network.retained_bytes(),
+                "messages": [
+                    {
+                        "message": encode_value(stored.message),
+                        "hash": stored.hash,
+                        "cursor": stored.cursor,
+                        "deferred": sorted(stored.deferred),
+                    }
+                    for stored in pass_.network.messages_since(0)
+                ],
+            },
+            "local_cursor": [[node, pass_._local_cursor.get(node, 0)] for node in nodes],
+            "fault_cursor": [[node, pass_._fault_cursor.get(node, 0)] for node in nodes],
+            "local_deferred": [
+                [node, sorted(pass_._local_deferred.get(node, ()))] for node in nodes
+            ],
+            "fault_deferred": [
+                [node, sorted(pass_._fault_deferred.get(node, ()))] for node in nodes
+            ],
+            "node_max_depth": [
+                [node, pass_._node_max_depth[node]]
+                for node in nodes
+                if node in pass_._node_max_depth
+            ],
+            "series": [
+                [sample.depth, sample.elapsed_s, sample.metrics]
+                for sample in pass_.series.samples
+            ],
+            "bugs": [bug_to_dict(bug) for bug in pass_.bugs],
+            "unverified": [_combo_rows(combo) for combo in pass_.unverified],
+            "rejected": {
+                "next": pass_._rejected_next,
+                "entries": [
+                    [entry_index, _combo_rows(combo)]
+                    for entry_index, combo in pass_._rejected_entries.items()
+                ],
+            },
+            "symmetry": symmetry,
+        },
+    }
+
+
+def restore_pass(
+    pass_: Any, payload: Dict[str, Any], registry: Optional[ClassRegistry] = None
+) -> None:
+    """Populate a freshly constructed pass from a checkpoint payload.
+
+    The pass must be newly built (empty stores/network) against the same
+    protocol, invariant and config the payload fingerprints — callers go
+    through :meth:`LocalModelChecker.resume` / ``extend_depth``, which
+    enforce that.  Restores in place: the verifier, metrics and reducer
+    objects already bound to the pass's stats/space keep working on the
+    reinstated state.
+    """
+    if registry is None:
+        registry = registry_for_protocol(pass_.checker.protocol)
+    data = payload["pass"]
+
+    for node, store_data in data["stores"]:
+        store = pass_.space.store(node)
+        for row in store_data["records"]:
+            record = store.restore_record(
+                state=decode_value(row["state"], registry),
+                state_hash=row["hash"],
+                depth=row["depth"],
+                local_depth=row["local_depth"],
+                history=frozenset(row["history"]),
+                crashes=row["crashes"],
+                crashed=row["crashed"],
+                seed=row["seed"],
+                discarded=row["discarded"],
+                state_size=row["state_size"],
+            )
+            for link_row in row["predecessors"]:
+                record.add_predecessor(
+                    PredecessorLink(
+                        prev_hash=link_row["prev_hash"],
+                        event=decode_event(link_row["event"], registry),
+                        event_hash=link_row["event_hash"],
+                        consumed_hash=link_row["consumed_hash"],
+                        generated_hashes=tuple(link_row["generated_hashes"]),
+                    )
+                )
+            if record.seed:
+                pass_._seed_records[node] = record
+        store.finalize_restore(store_data["version"])
+
+    network = data["network"]
+    pass_.network.restore(
+        (
+            (
+                decode_value(row["message"], registry),
+                row["hash"],
+                row["cursor"],
+                row["deferred"],
+            )
+            for row in network["messages"]
+        ),
+        suppressed_duplicates=network["suppressed_duplicates"],
+        retained_bytes=network["retained_bytes"],
+    )
+
+    apply_stats(pass_.stats, data["stats"])
+    pass_.round_number = data["round_number"]
+    pass_.blocked_by_bound = data["blocked_by_bound"]
+    pass_._blocked_by_depth = data["blocked_by_depth"]
+    pass_._crashes_executed = data["crashes_executed"]
+    pass_._retained_bytes = data["retained_bytes"]
+    pass_._local_cursor = {node: cursor for node, cursor in data["local_cursor"]}
+    pass_._fault_cursor = {node: cursor for node, cursor in data["fault_cursor"]}
+    pass_._local_deferred = {
+        node: set(indexes) for node, indexes in data["local_deferred"] if indexes
+    }
+    pass_._fault_deferred = {
+        node: set(indexes) for node, indexes in data["fault_deferred"] if indexes
+    }
+    pass_._node_max_depth = {node: depth for node, depth in data["node_max_depth"]}
+
+    for depth, elapsed_s, metrics in data["series"]:
+        pass_.series.samples.append(DepthSample(depth, elapsed_s, dict(metrics)))
+    if pass_.series.samples:
+        # Resumed sampling must behave as if the restored samples were its
+        # own: only genuinely new depths append rows.
+        pass_.metrics._last_depth = pass_.series.samples[-1].depth
+
+    pass_.bugs.extend(bug_from_dict(item, registry) for item in data["bugs"])
+
+    for combo_rows in data["unverified"]:
+        combo = {
+            node: pass_.space.store(node).records[index]
+            for node, index in combo_rows
+        }
+        pass_._unverified_keys.add(tuple((node, index) for node, index in combo_rows))
+        pass_.unverified.append(combo)
+
+    rejected = data["rejected"]
+    pass_._rejected_next = rejected["next"]
+    for entry_index, combo_rows in rejected["entries"]:
+        pass_._rejected_entries[entry_index] = {
+            node: pass_.space.store(node).records[index]
+            for node, index in combo_rows
+        }
+    # Index lists are kept in insertion (entry-number) order — the order the
+    # lazily-pruned live lists of the original run preserve.
+    for entry_index, combo_rows in sorted(rejected["entries"]):
+        for node, index in combo_rows:
+            pass_._rejected_index.setdefault((node, index), []).append(entry_index)
+
+    symmetry = data["symmetry"]
+    if (symmetry is not None) != (pass_._symmetry is not None):
+        raise CheckpointMismatch(
+            "symmetry reducer presence differs between the checkpoint and "
+            "this configuration"
+        )
+    if symmetry is not None:
+        pass_._symmetry.orbit_hits = symmetry["orbit_hits"]
+        pass_._symmetry._seen = {
+            tuple(tuple(pair) for pair in key) for key in symmetry["seen"]
+        }
+
+    # Derived caches are rebuilt, not restored: projections in discovery
+    # order (exactly the order seeding + integration noted them), verifier
+    # memos cold (cache-hit counters only), speculator fresh (full-log
+    # resync on first dispatch).
+    if pass_._projection_index is not None:
+        for node in pass_.space.node_ids:
+            for record in pass_.space.store(node).records:
+                if not record.crashed:
+                    pass_._projection_index.note(
+                        node, record, pass_._cached_projection(node, record)
+                    )
+
+    pass_._restored = True
+
+
+# -- files -----------------------------------------------------------------------
+
+
+def save_checkpoint(path: str, payload: Dict[str, Any]) -> None:
+    """Write a checkpoint atomically (see :func:`repro.fsio.atomic_write_json`).
+
+    Readers observe either the previous complete checkpoint or the new one
+    — a kill mid-write never leaves a truncated file.  Unlike the bug
+    corpus, checkpoints are machine artifacts rewritten on every cadence
+    round, so they are stored compact (``indent=None``): on the Fig. 10
+    d=6 snapshot that is ~3x smaller and cuts the encode time to roughly a
+    tenth.  Key order stays sorted, keeping the bytes canonical for the
+    round-trip property test.
+    """
+    save_envelope(
+        path, CHECKPOINT_KIND, CHECKPOINT_FORMAT_VERSION, payload, indent=None
+    )
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read a checkpoint written by :func:`save_checkpoint`, strictly."""
+    try:
+        return load_envelope(path, CHECKPOINT_KIND, CHECKPOINT_FORMAT_VERSION)
+    except ValueError as exc:
+        raise CheckpointError(str(exc)) from None
+
+
+def verify_fingerprint(
+    payload: Dict[str, Any], protocol: Any, invariant: Any, config: Any, initial_system: Any
+) -> None:
+    """Refuse loudly when the payload belongs to a different configuration."""
+    expected = fingerprint(protocol, invariant, config, initial_system)
+    found = payload.get("fingerprint")
+    if found != expected:
+        raise CheckpointMismatch(
+            "checkpoint fingerprint mismatch: the snapshot was written under "
+            "a different protocol/invariant/config/initial-state combination "
+            f"(checkpoint {str(found)[:12]}…, this run {expected[:12]}…); "
+            "refusing to resume"
+        )
+
+
+def decode_initial_system(payload: Dict[str, Any], protocol: Any):
+    """The checkpointed initial system state, decoded through the protocol's
+    registry."""
+    registry = registry_for_protocol(protocol)
+    return decode_system_state(payload["initial_system"], registry), registry
+
+
+# -- write policy ----------------------------------------------------------------
+
+
+class Checkpointer:
+    """When and where a run writes checkpoints.
+
+    Attach one to a :class:`~repro.core.checker.LocalModelChecker`; the
+    pass consults :meth:`due` at every round boundary and always writes a
+    final snapshot when a pass completes.  ``every_rounds`` defaults to
+    ``LMCConfig.checkpoint_every_rounds`` when left ``None``.
+
+    SIGTERM handling is cooperative: the handler only sets a flag, the
+    sweep finishes its current round, the boundary snapshot is written,
+    and the run stops with ``"interrupted (checkpoint written)"``.  The
+    handler is installed around :meth:`LocalModelChecker.run` only in the
+    main thread (``signal`` refuses elsewhere; the checkpointer then
+    simply never sees a SIGTERM flag).
+    """
+
+    def __init__(self, path: str, every_rounds: Optional[int] = None):
+        self.path = path
+        self.every_rounds = every_rounds
+        #: Set by the SIGTERM handler; checked at round boundaries.
+        self.stop_requested = False
+        #: Round number of the last snapshot written, for heartbeats/status.
+        self.last_round: Optional[int] = None
+        self.writes = 0
+        self._previous_handler: Any = None
+        self._installed = False
+
+    # -- signal plumbing ---------------------------------------------------
+
+    def install(self) -> None:
+        """Install the cooperative SIGTERM handler (main thread only)."""
+        def _handle(signum: int, frame: Any) -> None:
+            del signum, frame
+            self.stop_requested = True
+
+        try:
+            self._previous_handler = signal.signal(signal.SIGTERM, _handle)
+            self._installed = True
+        except ValueError:
+            # Not the main thread: cadence and final checkpoints still work.
+            self._installed = False
+
+    def uninstall(self) -> None:
+        if self._installed:
+            signal.signal(signal.SIGTERM, self._previous_handler)
+            self._installed = False
+
+    # -- policy ------------------------------------------------------------
+
+    def cadence(self, config: Any) -> Optional[int]:
+        """The effective round cadence (explicit, else the config knob)."""
+        if self.every_rounds is not None:
+            return self.every_rounds
+        return config.checkpoint_every_rounds
+
+    def due(self, round_number: int, config: Any) -> bool:
+        """Should the pass write a snapshot at this round boundary?"""
+        if self.stop_requested:
+            return True
+        every = self.cadence(config)
+        return every is not None and round_number % every == 0
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        """Persist one snapshot and record it for heartbeat reporting."""
+        save_checkpoint(self.path, payload)
+        self.writes += 1
+        self.last_round = payload["pass"]["round_number"]

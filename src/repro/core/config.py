@@ -182,6 +182,13 @@ class LMCConfig:
     #: false positive).  Off by default and byte-identical-off.
     por_pruning: bool = False
 
+    #: Write a durable checkpoint (docs/CHECKPOINTS.md) every N completed
+    #: exploration rounds; ``None`` disables the cadence (a checkpointer, if
+    #: attached, then writes only on SIGTERM and at pass completion).
+    #: Checkpoints are bookkeeping outside the explored state: every counter,
+    #: verdict and witness is byte-identical with the cadence on or off.
+    checkpoint_every_rounds: Optional[int] = None
+
     #: Reuse incremental per-node structures during system-state creation:
     #: cached active-record lists and — for pairwise LMC-OPT — a per-node
     #: index of records with non-``None`` projections, so each anchored
@@ -216,6 +223,8 @@ class LMCConfig:
             raise ValueError("explore_shard_min must be >= 1")
         if self.explore_round_threshold < 1:
             raise ValueError("explore_round_threshold must be >= 1")
+        if self.checkpoint_every_rounds is not None and self.checkpoint_every_rounds < 1:
+            raise ValueError("checkpoint_every_rounds must be >= 1 or None")
         if self.max_crashes_per_node < 0:
             raise ValueError("max_crashes_per_node must be >= 0")
         if self.max_total_crashes is not None and self.max_total_crashes < 0:

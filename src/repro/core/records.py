@@ -244,6 +244,54 @@ class NodeStateStore:
         self.version += 1
         return record
 
+    def restore_record(
+        self,
+        state: object,
+        state_hash: int,
+        depth: int,
+        local_depth: int,
+        history: FrozenSet[int],
+        crashes: int,
+        crashed: bool,
+        seed: bool,
+        discarded: bool,
+        state_size: Optional[int],
+    ) -> NodeStateRecord:
+        """Reinstate one checkpointed record (docs/CHECKPOINTS.md).
+
+        Appends like :meth:`add` but also reinstates the flags ``add``
+        leaves to the checker (``seed``, ``discarded``).  The caller
+        replays predecessor links afterwards and then calls
+        :meth:`finalize_restore` to pin the structural version.
+        """
+        record = self.add(
+            state,
+            state_hash,
+            depth=depth,
+            local_depth=local_depth,
+            history=history,
+            crashes=crashes,
+            crashed=crashed,
+            state_size=state_size,
+        )
+        record.seed = seed
+        record.discarded = discarded
+        return record
+
+    def finalize_restore(self, version: int) -> None:
+        """Pin the checkpointed structural version after a restore.
+
+        :meth:`restore_record` and the replayed predecessor links bumped
+        ``version`` on their own schedule; overwriting it with the
+        checkpointed value makes a snapshot→restore→snapshot round trip
+        byte-identical, and keeps future bumps aligned with the original
+        run.  Discard and active-record caches are recomputed from the
+        reinstated flags.
+        """
+        self.version = version
+        self._discards = sum(1 for record in self.records if record.discarded)
+        self._active_cache = None
+
     def __len__(self) -> int:
         return len(self.records)
 

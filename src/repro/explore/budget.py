@@ -58,9 +58,13 @@ class SearchBudget:
 class BudgetClock:
     """Evaluates a :class:`SearchBudget` against a running search."""
 
-    def __init__(self, budget: SearchBudget):
+    def __init__(self, budget: SearchBudget, already_elapsed: float = 0.0):
         self.budget = budget
-        self._start = time.perf_counter()
+        #: ``already_elapsed`` pre-ages the clock: a resumed run
+        #: (docs/CHECKPOINTS.md) continues from the checkpointed elapsed
+        #: time, so ``max_seconds`` bounds total work, not work-since-resume,
+        #: and the depth series stays monotonic across the restore.
+        self._start = time.perf_counter() - already_elapsed
 
     def elapsed(self) -> float:
         """Seconds since the clock started."""

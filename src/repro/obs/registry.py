@@ -49,6 +49,10 @@ META_FILE = "meta.json"
 HEARTBEAT_FILE = "heartbeat.json"
 RESULT_FILE = "result.json"
 COVERAGE_FILE = "coverage.json"
+#: Default location of a run's durable checker snapshot
+#: (docs/CHECKPOINTS.md): ``repro resume <run_id>`` reads it, and
+#: ``repro runs --gc`` prunes it once the run has finished.
+CHECKPOINT_FILE = "checkpoint.json"
 
 #: A heartbeat older than this (seconds) marks a live-pid run as stale.
 #: When the heartbeat itself advertises its cadence the threshold widens to
@@ -157,6 +161,14 @@ class RunRecord:
     def coverage_path(self) -> str:
         return os.path.join(self.directory, COVERAGE_FILE)
 
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.directory, CHECKPOINT_FILE)
+
+    def has_checkpoint(self) -> bool:
+        """True when the run left a durable checker snapshot to resume from."""
+        return os.path.isfile(self.checkpoint_path)
+
     def coverage(self) -> Optional[Dict[str, Any]]:
         """The run's coverage report, when coverage accounting was on."""
         return read_json(self.coverage_path)
@@ -257,6 +269,27 @@ class RunRegistry:
         meta.update(extra)
         atomic_write_json(os.path.join(directory, META_FILE), meta)
         return RunHandle(directory, run_id)
+
+    def gc_checkpoints(self) -> List[str]:
+        """Delete finished runs' leftover checkpoints; return pruned paths.
+
+        Only runs with a ``result.json`` qualify: an in-flight or killed
+        run's checkpoint is its resume point and is never touched.  Only
+        the registry-managed ``checkpoint.json`` inside each run directory
+        is removed — never a user-chosen ``--checkpoint PATH`` elsewhere.
+        """
+        pruned: List[str] = []
+        for record in self.list_runs():
+            if record.result is None:
+                continue
+            path = record.checkpoint_path
+            if os.path.isfile(path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                pruned.append(path)
+        return pruned
 
     # -- reader side -----------------------------------------------------------
 

@@ -31,6 +31,18 @@ unreduced over reduced ``system_states_created``.  The dedicated
 must show at least the 2x ratio the reduction promises; the gate is
 count-based and therefore deterministic.
 
+A fifth leg (full suite only; ``--no-incremental`` disables) measures
+checkpoint-based depth extension (docs/CHECKPOINTS.md): one child runs the
+Fig. 10 sweep *incrementally* — cold at d=4 with a final checkpoint, then
+``extend_depth`` through d=6, 8, 10, each leg exploring only the frontier
+the larger bound unblocks.  Per-depth counters must equal the cold
+``fig10_dN`` runs exactly; the gated ``incremental_speedup`` is the
+deterministic work ratio — transitions the cold sweep executes over
+transitions the incremental chain executes — and must reach 1.5x, while
+``wall_speedup`` records the measured wall-clock ratio (noisy, never
+gated, and dominated by snapshot serialization on these sub-second
+workloads).
+
 The harness *asserts* that all modes produce identical counters, verdicts
 and witness traces — the caches are required to be semantics-preserving —
 and exits non-zero on any divergence, which is what the CI perf-smoke job
@@ -85,6 +97,23 @@ REDUCTION_ONLY_KEYS = frozenset({"symmetry_skips", "por_links_suppressed"})
 #: depth, which saturates around 9 on the single-proposal space, so this
 #: brackets early, middle and full exploration.
 FIG10_DEPTHS = (4, 6, 8, 10)
+
+#: Synthetic workload name for the incremental-extension leg (the child
+#: chains the whole ``fig10_dN`` series in one process, so it is not one of
+#: the per-depth workloads).
+INCREMENTAL_SERIES = "fig10_series"
+
+
+def _filtered_counts(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic, mode-independent subset of a stats snapshot."""
+    return {
+        key: value
+        for key, value in snapshot.items()
+        if not key.startswith(NONDETERMINISTIC_KEYS)
+        and key not in CACHE_ONLY_KEYS
+        and key not in EXPLORE_ONLY_KEYS
+        and key not in REDUCTION_ONLY_KEYS
+    }
 
 
 # -- workload definitions (imported lazily, children only) ---------------------
@@ -201,6 +230,15 @@ def _build_checker(workload: str, config_overrides: Dict[str, Any]):
 
 def _run_child(workload: str, mode: str) -> None:
     """Child entry: run one (workload, mode) and print a JSON report."""
+    if mode == "incremental":
+        if workload != INCREMENTAL_SERIES:
+            raise SystemExit(
+                f"incremental mode runs the whole {INCREMENTAL_SERIES} chain, "
+                f"not {workload!r}"
+            )
+        _run_incremental_child()
+        return
+
     import resource
 
     from repro.model import hashing
@@ -260,14 +298,7 @@ def _run_child(workload: str, mode: str) -> None:
             wall_s=wall_s,
         )
 
-    counts = {
-        key: value
-        for key, value in result.stats.snapshot().items()
-        if not key.startswith(NONDETERMINISTIC_KEYS)
-        and key not in CACHE_ONLY_KEYS
-        and key not in EXPLORE_ONLY_KEYS
-        and key not in REDUCTION_ONLY_KEYS
-    }
+    counts = _filtered_counts(result.stats.snapshot())
     report = {
         "wall_s": wall_s,
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
@@ -295,6 +326,58 @@ def _run_child(workload: str, mode: str) -> None:
         },
     }
     json.dump(report, sys.stdout)
+
+
+def _run_incremental_child() -> None:
+    """Child entry for the incremental leg: one chained Fig. 10 sweep.
+
+    Runs ``fig10_d4`` cold with a final checkpoint, then builds a fresh
+    checker per larger depth and feeds it the previous leg's snapshot via
+    :meth:`~repro.core.checker.LocalModelChecker.extend_depth`, so each leg
+    pays only for the frontier the new bound unblocks.  Reports per-depth
+    wall clock and the same filtered counters as the normal child so the
+    parent can assert equality against the cold ``fig10_dN`` runs.
+
+    No run-registry handle here: four chained checkers sharing one
+    heartbeat file would report a garbled depth series.
+    """
+    import resource
+    import tempfile
+
+    from repro.core.checkpoint import Checkpointer, load_checkpoint
+
+    legs: Dict[str, Any] = {}
+    with tempfile.TemporaryDirectory(prefix="bench-incremental-") as tmp:
+        prev_path: Optional[str] = None
+        for depth in FIG10_DEPTHS:
+            workload = f"fig10_d{depth}"
+            checker, _ = _build_checker(workload, {})
+            path = os.path.join(tmp, f"{workload}.checkpoint.json")
+            # ``every_rounds=None`` writes only the completed-pass snapshot
+            # the next leg extends from — no mid-run cadence overhead.  The
+            # deepest leg feeds no one, so it skips the write entirely.
+            if depth != FIG10_DEPTHS[-1]:
+                checker.checkpointer = Checkpointer(path)
+            start = time.perf_counter()
+            if prev_path is None:
+                result = checker.run()
+            else:
+                result = checker.extend_depth(load_checkpoint(prev_path))
+            wall_s = time.perf_counter() - start
+            prev_path = path
+            legs[workload] = {
+                "wall_s": wall_s,
+                "counts": _filtered_counts(result.stats.snapshot()),
+                "completed": result.completed,
+                "bugs": [bug.description for bug in result.bugs],
+            }
+    json.dump(
+        {
+            "legs": legs,
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        },
+        sys.stdout,
+    )
 
 
 # -- parent-side orchestration -------------------------------------------------
@@ -337,6 +420,27 @@ def _measure(workload: str, mode: str, repeat: int) -> Dict[str, Any]:
     return best
 
 
+def _measure_incremental(repeat: int) -> Dict[str, Any]:
+    """Best-of-``repeat`` incremental children; counts must agree across repeats."""
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(repeat):
+        report = _spawn(INCREMENTAL_SERIES, "incremental")
+        if best is None:
+            best = report
+            continue
+        for workload, leg in report["legs"].items():
+            kept = best["legs"][workload]
+            if leg["counts"] != kept["counts"]:
+                raise SystemExit(
+                    f"{INCREMENTAL_SERIES}/{workload}: counts differ between "
+                    "repeats (the checker must be deterministic)"
+                )
+            kept["wall_s"] = min(kept["wall_s"], leg["wall_s"])
+        best["peak_rss_kb"] = min(best["peak_rss_kb"], report["peak_rss_kb"])
+    assert best is not None
+    return best
+
+
 def _hit_rate(intern: Dict[str, int]) -> Optional[float]:
     total = intern.get("hits", 0) + intern.get("misses", 0)
     return round(intern["hits"] / total, 4) if total else None
@@ -367,8 +471,81 @@ def _reduction_ratio(
     return round(base / reduced, 3)
 
 
+def run_incremental_leg(
+    results: Dict[str, Any], repeat: int, errors: List[str]
+) -> None:
+    """Measure the chained Fig. 10 extension and gate it against the cold sweep.
+
+    Appends equality errors to ``errors`` and records the leg under
+    ``results[INCREMENTAL_SERIES]``.  The entry carries the final depth's
+    ``counts``/``completed``/``bugs`` so ``--verify-counts`` gates it like
+    any other workload.
+    """
+    series = [f"fig10_d{depth}" for depth in FIG10_DEPTHS]
+    print(f"[bench] {INCREMENTAL_SERIES} (checkpoint depth extension) ...", flush=True)
+    report = _measure_incremental(repeat)
+    cold_wall = warm_wall = 0.0
+    for workload in series:
+        leg = report["legs"][workload]
+        cold = results[workload]
+        for field in ("counts", "completed", "bugs"):
+            if cold[field] != leg[field]:
+                errors.append(
+                    f"{INCREMENTAL_SERIES}/{workload}: {field} diverge between "
+                    f"cold and extended runs:\n  cold:     {cold[field]}\n"
+                    f"  extended: {leg[field]}"
+                )
+        cold_wall += cold["cached_wall_s"]
+        warm_wall += leg["wall_s"]
+    final = report["legs"][series[-1]]
+    # The extended chain's stats accumulate across legs and must end equal
+    # to the cold run at the final depth, so its ``transitions`` counter IS
+    # the total exploration work the chain executed; the cold sweep re-pays
+    # every shallower depth from scratch.  ``incremental_speedup`` is this
+    # count-based work ratio — deterministic, hence the gated metric —
+    # while ``wall_speedup`` records the measured (noisy, never gated)
+    # wall-clock ratio.
+    cold_transitions = sum(
+        results[workload]["counts"]["transitions"] for workload in series
+    )
+    warm_transitions = final["counts"]["transitions"]
+    results[INCREMENTAL_SERIES] = {
+        "counts": final["counts"],
+        "completed": final["completed"],
+        "bugs": final["bugs"],
+        "legs": {
+            workload: {
+                "wall_s": round(report["legs"][workload]["wall_s"], 4),
+                "transitions": report["legs"][workload]["counts"]["transitions"],
+            }
+            for workload in series
+        },
+        "cold_sweep_wall_s": round(cold_wall, 4),
+        "incremental_wall_s": round(warm_wall, 4),
+        "wall_speedup": (
+            round(cold_wall / warm_wall, 3) if warm_wall > 0 else None
+        ),
+        "cold_sweep_transitions": cold_transitions,
+        "incremental_transitions": warm_transitions,
+        "incremental_speedup": (
+            round(cold_transitions / warm_transitions, 3) if warm_transitions else None
+        ),
+        "peak_rss_kb": report["peak_rss_kb"],
+    }
+    print(
+        f"[bench]   cold_sweep={cold_wall:.3f}s incremental={warm_wall:.3f}s "
+        f"incremental_speedup={results[INCREMENTAL_SERIES]['incremental_speedup']}x "
+        f"(transitions) wall_speedup={results[INCREMENTAL_SERIES]['wall_speedup']}x",
+        flush=True,
+    )
+
+
 def run_suite(
-    workloads: List[str], repeat: int, explore_workers: int, reduction: bool
+    workloads: List[str],
+    repeat: int,
+    explore_workers: int,
+    reduction: bool,
+    incremental: bool = True,
 ) -> Dict[str, Any]:
     results: Dict[str, Any] = {}
     errors: List[str] = []
@@ -455,6 +632,8 @@ def run_suite(
                 f"por={reduced['reduction']['por_links_suppressed']}",
                 flush=True,
             )
+    if incremental and all(f"fig10_d{d}" in results for d in FIG10_DEPTHS):
+        run_incremental_leg(results, repeat, errors)
     if errors:
         raise SystemExit("count/verdict divergence:\n" + "\n".join(errors))
     return results
@@ -518,6 +697,13 @@ def main() -> None:
         "(docs/REDUCTION.md); on by default so BENCH_lmc.json records "
         "reduction_ratio per workload",
     )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="skip the checkpoint depth-extension leg (docs/CHECKPOINTS.md); "
+        "on by default in the full suite (it needs the whole fig10 series, "
+        "so --quick implies it)",
+    )
     args = parser.parse_args()
 
     if args.child:
@@ -547,7 +733,11 @@ def main() -> None:
         repeat = args.repeat
 
     results = run_suite(
-        workloads, repeat, max(0, args.explore_workers), not args.no_reduction
+        workloads,
+        repeat,
+        max(0, args.explore_workers),
+        not args.no_reduction,
+        incremental=not args.no_incremental,
     )
 
     # Write the report before any gating so a failing gate still leaves the
@@ -575,6 +765,20 @@ def main() -> None:
             raise SystemExit(
                 f"paxos_opt speedup {speedup}x below the 2x target "
                 "(rerun on an idle machine, or pass --no-speedup-gate)"
+            )
+
+    # The incremental gate is count-based, hence deterministic: transitions
+    # the cold per-depth sweep executes over transitions the extension
+    # chain executes (docs/CHECKPOINTS.md).  Wall-clock incremental_speedup
+    # is recorded but never gated.
+    inc_entry = results.get(INCREMENTAL_SERIES)
+    if inc_entry is not None:
+        ratio = inc_entry["incremental_speedup"]
+        if ratio is None or ratio < 1.5:
+            raise SystemExit(
+                f"{INCREMENTAL_SERIES} incremental_speedup {ratio}x below the "
+                "1.5x target (depth extension re-explored paid-for state; "
+                "see docs/CHECKPOINTS.md)"
             )
 
     # The reduction gate is count-based, hence deterministic — unlike the
