@@ -90,6 +90,13 @@ def _twophase(nodes: int, buggy: bool):
     return cls(max(nodes, 2), no_voters=(max(nodes, 2) - 1,)), CommitValidity()
 
 
+def _twophase_timeout(nodes: int, buggy: bool):
+    from repro.protocols.twophase import Atomicity, TimeoutTwoPhaseCommit
+
+    del buggy
+    return TimeoutTwoPhaseCommit(max(nodes, 2)), Atomicity()
+
+
 def _ring(nodes: int, buggy: bool):
     from repro.protocols.ring import (
         AtMostOneLeader,
@@ -125,10 +132,42 @@ WORKLOADS: Dict[str, Tuple[WorkloadBuilder, str]] = {
     "chain": (_chain, "sequential token chain (§4.3 counter-example)"),
     "echo": (_echo, "all-to-all echo broadcast (maximally chatty)"),
     "2pc": (_twophase, "two-phase commit (--buggy: eager commit)"),
+    "2pc-timeout": (
+        _twophase_timeout,
+        "2PC with presumed-abort timeouts (atomicity breaks under --drop-faults)",
+    ),
     "randtree": (_randtree, "RandTree membership (--buggy: sibling mixup)"),
     "ring": (_ring, "ring leader election (--buggy: greedy crowning)"),
     "stream": (_stream, "sequenced datagram stream (in-order invariant fails)"),
 }
+
+
+def parse_partition_spec(spec: str) -> Tuple[int, Optional[int], tuple, tuple]:
+    """Parse one ``--partition START:END:SRCS:DESTS`` window.
+
+    ``END`` may be empty or ``-`` for a permanent partition; ``SRCS`` and
+    ``DESTS`` are comma-separated node ids.  Example: ``2:4:0:1,2`` blocks
+    messages from node 0 to nodes 1 and 2 during rounds 2-4.
+    """
+    parts = spec.split(":")
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            f"partition spec {spec!r} is not START:END:SRCS:DESTS"
+        )
+    try:
+        start = int(parts[0])
+        end = None if parts[1] in ("", "-") else int(parts[1])
+        srcs = tuple(int(item) for item in parts[2].split(",") if item != "")
+        dests = tuple(int(item) for item in parts[3].split(",") if item != "")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"partition spec {spec!r} contains a non-integer field"
+        ) from None
+    if not srcs or not dests:
+        raise argparse.ArgumentTypeError(
+            f"partition spec {spec!r} needs at least one src and one dest"
+        )
+    return (start, end, srcs, dests)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -229,6 +268,47 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="global cap on crash events across the run "
             "(default: only the per-node bound)",
+        )
+        command.add_argument(
+            "--drop-faults",
+            action="store_true",
+            help="explore message-loss schedules against protocols that "
+            "declare a handle_drop omission hook (LMC algorithms only; "
+            "see docs/FAULTS.md)",
+        )
+        command.add_argument(
+            "--max-drops",
+            type=int,
+            default=None,
+            metavar="N",
+            help="global cap on effective drop events across the run "
+            "(default: unbounded)",
+        )
+        command.add_argument(
+            "--duplicate-faults",
+            action="store_true",
+            help="explore at-least-once redelivery of every sent message "
+            "(LMC algorithms only; see docs/FAULTS.md)",
+        )
+        command.add_argument(
+            "--duplicate-limit",
+            type=int,
+            default=None,
+            metavar="N",
+            help="how many copies of one message value the monotonic "
+            "network may admit (default 1; raise alongside "
+            "--duplicate-faults to deepen redelivery exploration)",
+        )
+        command.add_argument(
+            "--partition",
+            dest="partitions",
+            action="append",
+            type=parse_partition_spec,
+            default=None,
+            metavar="START:END:SRCS:DESTS",
+            help="block deliveries from SRCS to DESTS during rounds "
+            "START..END (END empty or '-' means forever; repeatable; "
+            "see docs/FAULTS.md)",
         )
         command.add_argument(
             "--symmetry-reduction",
@@ -445,6 +525,16 @@ def run_check(
             max_crashes_per_node=args.max_crashes_per_node,
             max_total_crashes=args.max_total_crashes,
         )
+    if getattr(args, "drop_faults", False):
+        fault_overrides["drop_faults"] = True
+        if args.max_drops is not None:
+            fault_overrides["max_drops"] = args.max_drops
+    if getattr(args, "duplicate_faults", False):
+        fault_overrides["duplicate_faults"] = True
+    if getattr(args, "duplicate_limit", None) is not None:
+        fault_overrides["duplicate_limit"] = args.duplicate_limit
+    if getattr(args, "partitions", None):
+        fault_overrides["partition_schedules"] = tuple(args.partitions)
     if getattr(args, "symmetry_reduction", False):
         fault_overrides["symmetry_reduction"] = True
     if getattr(args, "por", False):

@@ -28,6 +28,22 @@ record is restarted from its durable fragment.  The monotonic ``I+`` makes
 this composition cheap — a crashed node's in-flight messages stay available
 by construction.  Off by default, and when off the checker is byte-identical
 to a build without the scheduler.
+
+Three further fault dimensions compose the same way (docs/FAULTS.md), each
+off by default and byte-identical-off:
+
+* ``drop_faults`` — a **drop sweep** offers every undelivered stored copy
+  to each destination record whose protocol declares a ``handle_drop``
+  timeout hook; the resulting :class:`~repro.model.events.DropEvent`
+  consumes the copy, so it is never-deliverable along that branch.
+* ``duplicate_faults`` — a **duplication sweep** re-admits each generated
+  message once through the network's ``duplicate_limit`` path; deliveries
+  of the fault-minted copy bypass the §4.2 at-most-once history skip and
+  integrate as :class:`~repro.model.events.DuplicateEvent` steps.
+* ``partition_schedules`` — timed src/dest reachability masks applied in
+  the delivery sweep: a blocked (message, destination) pair is counted as
+  ``partition_blocks`` and retried once its window closes; a pair under a
+  permanent window is simply never delivered.
 """
 
 from __future__ import annotations
@@ -67,6 +83,8 @@ from repro.invariants.base import DecomposableInvariant, Invariant, LocalInvaria
 from repro.model.events import (
     CrashEvent,
     DeliveryEvent,
+    DropEvent,
+    DuplicateEvent,
     Event,
     InternalEvent,
     RestartEvent,
@@ -86,6 +104,7 @@ from repro.model.types import (
 from repro.protocols.common import (
     declared_action_names,
     declared_message_types,
+    drop_result,
     durable_projection,
     restart_state,
 )
@@ -433,6 +452,28 @@ class _ExplorationPass:
         self._fault_cursor: Dict[NodeId, int] = {}
         #: Crash events executed so far, against ``max_total_crashes``.
         self._crashes_executed = 0
+        #: Drop-sweep cursor per stored message (keyed by ``seq``): index of
+        #: the next destination record to offer the drop to.  Only populated
+        #: when ``drop_faults``.
+        self._drop_cursor: Dict[int, int] = {}
+        #: Depth-blocked (stored seq, record index) pairs the drop sweep
+        #: passed over; mirrors ``StoredMessage.deferred`` for drops.
+        self._drop_deferred: Dict[int, set] = {}
+        #: Effective (state-changing) drop events, against ``max_drops``.
+        self._drops_executed = 0
+        #: Duplication-sweep cursor into the network admission log: sends at
+        #: or above it have not been offered a fault-minted duplicate yet.
+        self._dup_seq_cursor = 0
+        #: True when this round blocked a pending delivery behind a partition
+        #: window that eventually closes — the pass must keep rounding (the
+        #: round number is the partition clock) instead of declaring
+        #: fixpoint on a zero-execution round.
+        self._partition_retry = False
+        #: The drop sweep only runs against protocols that declare the
+        #: ``handle_drop`` omission hook: for drop-oblivious protocols a
+        #: silent omission reaches no state a slower network could not
+        #: (docs/FAULTS.md), so there is nothing to explore.
+        self._has_drop_hook = getattr(self.protocol, "handle_drop", None) is not None
         self._seed_records: Dict[NodeId, NodeStateRecord] = {}
         #: Depth-blocked (node, record index) pairs the local and fault
         #: sweeps' cursors passed over; mirrors ``StoredMessage.deferred``
@@ -533,7 +574,7 @@ class _ExplorationPass:
                 # still inside the pass (the ``finally`` below folds
                 # network counters into ``stats`` — a snapshot taken after
                 # it would double-fold them when the restored pass ends).
-                if executions == 0:
+                if executions == 0 and not self._partition_retry:
                     reason = (
                         "depth bound reached"
                         if self._blocked_by_depth
@@ -624,6 +665,8 @@ class _ExplorationPass:
     def _round(self) -> int:
         """One sweep of network and local events; returns executions done."""
         executions = 0
+        self._partition_retry = False
+        partitions = self.config.partition_schedules
         # Parallel frontier exploration: snapshot the round-start frontier
         # and precompute its handler results + content hashes across the
         # worker pool.  The sweeps below are unchanged — they consume a
@@ -637,6 +680,18 @@ class _ExplorationPass:
         for node in self.space.node_ids:
             store = self.space.store(node)
             for stored in self.network.for_destination(node):
+                if partitions and self._partition_blocked(stored):
+                    # The cursor does NOT advance: the pair is merely on
+                    # hold, and will be swept normally once the window
+                    # closes.  Pairs under a permanent window set no retry
+                    # flag — they can reach fixpoint blocked.
+                    if stored.cursor < len(store) or (
+                        self._reoffer and stored.deferred
+                    ):
+                        self.stats.partition_blocks += 1
+                        if not self._partition_permanent(stored):
+                            self._partition_retry = True
+                    continue
                 if self._reoffer and stored.deferred:
                     executions += self._reoffer_deliveries(store, stored)
                 end = len(store)
@@ -684,6 +739,12 @@ class _ExplorationPass:
         # to a build without the scheduler.
         if self.config.fault_events_enabled:
             executions += self._fault_round()
+        # Omission and duplication sweeps (docs/FAULTS.md): like the crash
+        # scheduler, entirely absent — not merely inert — when disabled.
+        if self.config.drop_faults:
+            executions += self._drop_round()
+        if self.config.duplicate_faults:
+            executions += self._duplicate_round()
         return executions
 
     def _expand_local(self, record: NodeStateRecord, speculator) -> int:
@@ -809,6 +870,136 @@ class _ExplorationPass:
                 executions += self._execute_crash(record)
         return executions
 
+    def _partition_blocked(self, stored: StoredMessage) -> bool:
+        """Is ``stored`` unreachable under an active partition window?
+
+        A window ``(start, end, srcs, dests)`` blocks the pair while the
+        pass's round number lies in ``[start, end]`` (``end=None`` =
+        forever).  The round number is the partition clock: deterministic,
+        checkpointed, and shared with the per-depth series.
+        """
+        src = stored.message.src
+        dest = stored.message.dest
+        rnd = self.round_number
+        for start, end, srcs, dests in self.config.partition_schedules:
+            if (
+                src in srcs
+                and dest in dests
+                and start <= rnd
+                and (end is None or rnd <= end)
+            ):
+                return True
+        return False
+
+    def _partition_permanent(self, stored: StoredMessage) -> bool:
+        """Is ``stored`` under a partition window that never closes?
+
+        Permanently blocked pairs must not keep the pass alive: with
+        ``end=None`` covering the pair, no later round can deliver it, so a
+        zero-execution round is a genuine fixpoint.
+        """
+        src = stored.message.src
+        dest = stored.message.dest
+        for start, end, srcs, dests in self.config.partition_schedules:
+            if (
+                end is None
+                and src in srcs
+                and dest in dests
+                and start <= self.round_number
+            ):
+                return True
+        return False
+
+    def _drop_round(self) -> int:
+        """One sweep of the omission scheduler; returns executions done.
+
+        Mirrors the delivery sweep with an independent cursor pair: each
+        stored original copy is offered as a :class:`DropEvent` to every
+        destination record it has not been offered to yet.  Eligible pairs
+        are those a delivery would also be offered (live record, depth
+        budget, message not already in the record's history); fault-minted
+        duplicates are never dropped.  Skipped entirely for drop-oblivious
+        protocols — without a ``handle_drop`` hook an omission reaches no
+        new states under the monotonic network (docs/FAULTS.md).
+        """
+        if not self._has_drop_hook:
+            return 0
+        executions = 0
+        for node in self.space.node_ids:
+            store = self.space.store(node)
+            for stored in self.network.for_destination(node):
+                if stored.duplicate:
+                    continue
+                deferred = self._drop_deferred.get(stored.seq)
+                if self._reoffer and deferred:
+                    executions += self._reoffer_drops(store, stored, deferred)
+                end = len(store)
+                start = self._drop_cursor.get(stored.seq, 0)
+                for index in range(start, end):
+                    record = store.records[index]
+                    self._drop_cursor[stored.seq] = index + 1
+                    if record.discarded or record.crashed:
+                        continue
+                    if not self._depth_allows(record):
+                        self._drop_deferred.setdefault(stored.seq, set()).add(
+                            index
+                        )
+                        continue
+                    if stored.hash in record.history:
+                        continue
+                    limit = self.config.max_drops
+                    if limit is not None and self._drops_executed >= limit:
+                        continue
+                    executions += self._execute_drop(record, stored)
+        return executions
+
+    def _reoffer_drops(self, store, stored: StoredMessage, deferred: set) -> int:
+        """Offer drops to deferred records the new bound unblocked.
+
+        The ``max_drops`` cap consumes-and-drops, exactly like the cursor
+        sweep: a pair passed over while the cap is spent gets no drop now
+        or later.
+        """
+        executions = 0
+        for index in sorted(deferred):
+            record = store.records[index]
+            if record.discarded or record.crashed:
+                deferred.discard(index)
+                continue
+            if not self._depth_allows(record):
+                continue
+            deferred.discard(index)
+            if stored.hash in record.history:
+                continue
+            limit = self.config.max_drops
+            if limit is not None and self._drops_executed >= limit:
+                continue
+            executions += self._execute_drop(record, stored)
+        return executions
+
+    def _duplicate_round(self) -> int:
+        """Re-admit each newly generated message once as a duplicate copy.
+
+        The duplication scheduler rides the network's own admission path:
+        ``add`` either admits the copy within ``duplicate_limit`` (and the
+        copy is marked fault-minted, so its deliveries bypass the history
+        skip as :class:`DuplicateEvent` steps) or suppresses it into the
+        ``suppressed_duplicates`` counter.  Minting counts as an execution
+        so the delivery sweep of the next round sees the copies before the
+        pass can declare fixpoint.
+        """
+        executions = 0
+        high = self.network.high_water
+        for stored in self.network.messages_since(self._dup_seq_cursor):
+            if stored.duplicate:
+                continue
+            copy = self.network.add(stored.message)
+            if copy is not None:
+                copy.duplicate = True
+                executions += 1
+        self._dup_seq_cursor = high
+        return executions
+
     def _depth_allows(self, record: NodeStateRecord) -> bool:
         """Depth-budget gate: may ``record`` still execute events?
 
@@ -833,6 +1024,16 @@ class _ExplorationPass:
         history) is applied first.  Returns handler executions done (0/1).
         """
         if stored.hash in record.history:
+            if stored.duplicate:
+                if -(stored.seq + 1) in record.history:
+                    # This path already consumed the copy (its per-copy
+                    # token is in the history): redelivering it again
+                    # would exceed the admitted duplication budget.
+                    self.stats.history_skips += 1
+                    return 0
+                # A fault-minted copy exists precisely to bypass the
+                # at-most-once rule: redeliver it (docs/FAULTS.md).
+                return self._execute_duplicate(record, stored)
             self.stats.history_skips += 1
             return 0
         self._tick_budget()
@@ -1014,6 +1215,85 @@ class _ExplorationPass:
         )
         return 1
 
+    def _execute_drop(self, record: NodeStateRecord, stored: StoredMessage) -> int:
+        """Lose one stored copy before delivery to one node state.
+
+        The protocol's ``handle_drop`` hook models the destination's
+        timeout/presumed-failure reaction.  The integrated
+        :class:`DropEvent` *consumes* the message hash: the successor
+        record's history contains it, so the copy is never-deliverable
+        along that branch — the cursor pair is pruned exactly as §4.2's
+        redundant-execution rule prunes an already-delivered message.
+        Returns handler executions done (always 1).
+        """
+        self._tick_budget()
+        try:
+            result = drop_result(self.protocol, record.state, stored.message)
+        except LocalAssertionError:
+            self._handle_assertion_failure(record)
+            return 1
+        assert result is not None  # the sweep gates on the hook's presence
+        if result.is_noop(record.state):
+            self.stats.noop_executions += 1
+            return 1
+        self.stats.transitions += 1
+        self.stats.fault_drops += 1
+        self._drops_executed += 1
+        if self.coverage.enabled:
+            self.coverage.note_fault("drop", record.node)
+        if self.emitter.enabled:
+            self.emitter.event(
+                "fault", kind="drop", node=record.node, depth=record.depth
+            )
+        self._integrate(
+            record, DropEvent(stored.message), stored.hash, result, is_internal=False
+        )
+        return 1
+
+    def _execute_duplicate(self, record: NodeStateRecord, stored: StoredMessage) -> int:
+        """Redeliver a fault-minted duplicate copy to one node state.
+
+        Reached from :meth:`_execute_delivery` when the copy's hash is
+        already in the record's history — exactly the redelivery the §4.2
+        at-most-once rule would otherwise skip.  Runs the ordinary message
+        handler; integrates as a :class:`DuplicateEvent`, a local-like step
+        during soundness replay (the copy has no generating handler, so it
+        consumes nothing).  The successor's history gains the copy's
+        *per-copy token* (``-(seq + 1)``, collision-free against the
+        non-negative 64-bit content hashes), so each admitted copy is
+        executed at most once per discovery path — without the token a
+        non-idempotent handler would chain unboundedly, one redelivery per
+        successor record.  Returns handler executions done (always 1).
+        """
+        self._tick_budget()
+        if self.coverage.enabled:
+            self.coverage.note_delivery(type(stored.message.payload).__name__)
+        try:
+            result = self.protocol.handle_message(record.state, stored.message)
+        except LocalAssertionError:
+            self._handle_assertion_failure(record)
+            return 1
+        if result.is_noop(record.state):
+            self.stats.noop_executions += 1
+            return 1
+        self.stats.transitions += 1
+        self.stats.fault_duplicates += 1
+        if self.coverage.enabled:
+            self.coverage.note_fault("duplicate", record.node)
+        if self.emitter.enabled:
+            self.emitter.event(
+                "fault", kind="duplicate", node=record.node, depth=record.depth
+            )
+        self._integrate(
+            record,
+            DuplicateEvent(stored.message),
+            None,
+            result,
+            is_internal=False,
+            history_token=-(stored.seq + 1),
+        )
+        return 1
+
     def _handle_assertion_failure(self, record: NodeStateRecord) -> None:
         """Apply the §4.2 local-assertion policy to a failing handler.
 
@@ -1039,6 +1319,7 @@ class _ExplorationPass:
         event_hash_value: Optional[int] = None,
         fault: Optional[str] = None,
         precomputed: Optional[SpecExec] = None,
+        history_token: Optional[int] = None,
     ) -> None:
         """Fold a handler result into ``LS``/``I+`` (Fig. 9 lines 8-9).
 
@@ -1097,6 +1378,7 @@ class _ExplorationPass:
             if (
                 self._por
                 and consumed_hash is not None
+                and isinstance(event, DeliveryEvent)
                 and self._por_redundant(record, existing, link)
             ):
                 # Commutativity pruning (docs/REDUCTION.md): this link would
@@ -1116,6 +1398,10 @@ class _ExplorationPass:
         history = record.history
         if consumed_hash is not None:
             history = history | {consumed_hash}
+        if history_token is not None:
+            # Duplicate redelivery: a negative per-copy token marking this
+            # admitted copy as consumed along the new record's path.
+            history = history | {history_token}
         if fault == "restart":
             # A rebooted process has no delivery memory: clear the history
             # so earlier messages can run again on the recovered state.
@@ -1175,13 +1461,25 @@ class _ExplorationPass:
             m1 = lq.consumed_hash
             # Only delivery→delivery diamonds, and only the non-canonical
             # ordering (m1 before m2 with m1 > m2) is a suppression
-            # candidate; the ascending ordering is always kept.
-            if m1 is None or lq.prev_hash is None or m1 <= m2:
+            # candidate; the ascending ordering is always kept.  Drop links
+            # also carry a consumed hash but are never deliveries: losing a
+            # message does not commute with delivering another, so every
+            # leg of the diamond must be a genuine delivery.
+            if (
+                m1 is None
+                or lq.prev_hash is None
+                or m1 <= m2
+                or not isinstance(lq.event, DeliveryEvent)
+            ):
                 continue
             if m2 in lq.generated_hashes:
                 continue  # m2 causally follows m1: not a commuting pair
             for lt in existing.predecessors:
-                if lt.consumed_hash != m1 or lt.prev_hash is None:
+                if (
+                    lt.consumed_hash != m1
+                    or lt.prev_hash is None
+                    or not isinstance(lt.event, DeliveryEvent)
+                ):
                     continue
                 sibling = store.lookup(lt.prev_hash)
                 if sibling is None or sibling is record:
@@ -1190,6 +1488,7 @@ class _ExplorationPass:
                     if (
                         lr.prev_hash == lq.prev_hash
                         and lr.consumed_hash == m2
+                        and isinstance(lr.event, DeliveryEvent)
                         and m1 not in lr.generated_hashes
                     ):
                         return True

@@ -20,8 +20,10 @@ two features:
 What is serialized: every ``LS_n`` record (state value, hashes, depth
 metadata, history, predecessor links with their events, seed/discard/crash
 flags), the full ``I+`` log (message values, hashes, cursors, deferred
-pairs), all exploration counters and phase timers, the per-node sweep and
-fault cursors, the depth series, confirmed bugs, the collected-unverified
+pairs, fault-minted duplicate flags), all exploration counters and phase
+timers, the per-node sweep and fault cursors (including the drop sweep's
+cursor/deferred pairs and the duplication cursor), the depth series,
+confirmed bugs, the collected-unverified
 and rejected-combination caches, symmetry-reduction orbit keys, and the
 widening/prior-pass context of the enclosing run.
 
@@ -67,7 +69,10 @@ from repro.stats.counters import ExplorationStats
 from repro.stats.series import DepthSample
 
 #: On-disk format version; bump on any incompatible payload change.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Version 2 added the fault-scheduler extensions of docs/FAULTS.md: the
+#: drop-sweep cursor/deferred state, the duplication cursor, the per-message
+#: fault-minted ``duplicate`` flag, and drop/duplicate predecessor events.
+CHECKPOINT_FORMAT_VERSION = 2
 #: Envelope kind tag (see :func:`repro.persistence.save_envelope`).
 CHECKPOINT_KIND = "lmc-checkpoint"
 
@@ -258,6 +263,16 @@ def snapshot_pass(
             "blocked_by_bound": pass_.blocked_by_bound,
             "blocked_by_depth": pass_._blocked_by_depth,
             "crashes_executed": pass_._crashes_executed,
+            "drops_executed": pass_._drops_executed,
+            "drop_cursor": sorted(
+                [seq, cursor] for seq, cursor in pass_._drop_cursor.items()
+            ),
+            "drop_deferred": sorted(
+                [seq, sorted(indexes)]
+                for seq, indexes in pass_._drop_deferred.items()
+                if indexes
+            ),
+            "dup_seq_cursor": pass_._dup_seq_cursor,
             "retained_bytes": pass_._retained_bytes,
             "stats": _encode_stats(pass_.stats),
             "stores": [
@@ -282,6 +297,7 @@ def snapshot_pass(
                         "hash": stored.hash,
                         "cursor": stored.cursor,
                         "deferred": sorted(stored.deferred),
+                        "duplicate": stored.duplicate,
                     }
                     for stored in pass_.network.messages_since(0)
                 ],
@@ -370,6 +386,7 @@ def restore_pass(
                 row["hash"],
                 row["cursor"],
                 row["deferred"],
+                row["duplicate"],
             )
             for row in network["messages"]
         ),
@@ -382,6 +399,12 @@ def restore_pass(
     pass_.blocked_by_bound = data["blocked_by_bound"]
     pass_._blocked_by_depth = data["blocked_by_depth"]
     pass_._crashes_executed = data["crashes_executed"]
+    pass_._drops_executed = data["drops_executed"]
+    pass_._drop_cursor = {seq: cursor for seq, cursor in data["drop_cursor"]}
+    pass_._drop_deferred = {
+        seq: set(indexes) for seq, indexes in data["drop_deferred"] if indexes
+    }
+    pass_._dup_seq_cursor = data["dup_seq_cursor"]
     pass_._retained_bytes = data["retained_bytes"]
     pass_._local_cursor = {node: cursor for node, cursor in data["local_cursor"]}
     pass_._fault_cursor = {node: cursor for node, cursor in data["fault_cursor"]}

@@ -141,6 +141,35 @@ class LMCConfig:
     #: ``fault_events_enabled``.
     max_total_crashes: Optional[int] = None
 
+    #: Explore message-drop fault schedules (docs/FAULTS.md): the checker
+    #: additionally mints a :class:`~repro.model.events.DropEvent` for every
+    #: undelivered stored copy whose destination protocol declares a
+    #: ``handle_drop`` hook, consuming the copy (it becomes never-deliverable
+    #: along that branch).  Off by default and byte-identical-off.
+    drop_faults: bool = False
+
+    #: Global cap on drop events executed across the whole run; ``None``
+    #: leaves drops bounded only by the finite message space.  Only
+    #: consulted when ``drop_faults``.
+    max_drops: Optional[int] = None
+
+    #: Explore message-duplication fault schedules (docs/FAULTS.md): the
+    #: checker re-admits each generated message once through the network's
+    #: ``duplicate_limit`` path and redelivers the fault-minted copy via a
+    #: :class:`~repro.model.events.DuplicateEvent`.  Requires
+    #: ``duplicate_limit >= 1`` (the admission budget).  Off by default and
+    #: byte-identical-off.
+    duplicate_faults: bool = False
+
+    #: Timed network-partition schedules (docs/FAULTS.md): each entry is a
+    #: ``(start_round, end_round, srcs, dests)`` tuple blocking delivery of
+    #: messages from any node in ``srcs`` to any node in ``dests`` while the
+    #: checker's round number lies in ``[start_round, end_round]``
+    #: (``end_round=None`` = permanent).  Blocked deliveries are counted as
+    #: ``partition_blocks`` and retried once the window closes.  Empty (the
+    #: default) is byte-identical to a build without partition support.
+    partition_schedules: tuple = ()
+
     #: Worker processes for parallel frontier exploration
     #: (docs/PERFORMANCE.md): each round, the per-node frontier of pending
     #: deliveries, internal actions and fault steps is sharded across the
@@ -229,6 +258,35 @@ class LMCConfig:
             raise ValueError("max_crashes_per_node must be >= 0")
         if self.max_total_crashes is not None and self.max_total_crashes < 0:
             raise ValueError("max_total_crashes must be >= 0 or None")
+        if self.max_drops is not None and self.max_drops < 0:
+            raise ValueError("max_drops must be >= 0 or None")
+        if self.duplicate_faults and self.duplicate_limit < 1:
+            raise ValueError(
+                "duplicate_faults requires duplicate_limit >= 1 "
+                "(the admission budget for fault-minted copies)"
+            )
+        for entry in self.partition_schedules:
+            if not (isinstance(entry, tuple) and len(entry) == 4):
+                raise ValueError(
+                    "partition_schedules entries must be "
+                    "(start_round, end_round, srcs, dests) tuples"
+                )
+            start, end, srcs, dests = entry
+            if not (isinstance(start, int) and start >= 1):
+                raise ValueError("partition start_round must be an int >= 1")
+            if end is not None and not (isinstance(end, int) and end >= start):
+                raise ValueError(
+                    "partition end_round must be None or an int >= start_round"
+                )
+            for side, name in ((srcs, "srcs"), (dests, "dests")):
+                if not (
+                    isinstance(side, tuple)
+                    and side
+                    and all(isinstance(node, int) for node in side)
+                ):
+                    raise ValueError(
+                        f"partition {name} must be a non-empty tuple of node ids"
+                    )
 
     @classmethod
     def general(cls, **overrides: object) -> "LMCConfig":

@@ -42,6 +42,22 @@ generated twice.  A real network can redeliver a retransmitted or duplicate
 copy without a second generation; such schedules may therefore be rejected
 as inconclusive (a possible missed bug, never a false positive).
 
+Drop and duplicate steps (docs/FAULTS.md) thread through the same machinery:
+
+* a ``DropEvent`` link carries ``consumed_hash`` = the lost message's hash,
+  so replay requires the message to be *generated* before it is lost and
+  consumes the per-destination copy — a witness can never both drop and
+  deliver the same copy, and a drop of a message nobody sent is invalid;
+* a ``DuplicateEvent`` link is a local-like step (``consumed_hash=None``,
+  generated = the handler's sends): the fault-minted copy has no generating
+  handler of its own, so demanding a second generation would starve every
+  replay.  The conservatism is the mirror of the crash-redelivery note
+  above — the duplicate's position in a witness is constrained only by its
+  own sends, not by the original delivery, which can in principle admit an
+  order a real duplicate-delivering network would serialize differently;
+  the checker only mints duplicates of messages genuinely in ``I+``, so the
+  copy itself is always justified.
+
 Deviations from the paper, both explicit and bounded:
 
 * self-referencing predecessor links are ignored (the paper does the same);

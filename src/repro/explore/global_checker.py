@@ -74,11 +74,12 @@ def apply_event(
         result = protocol.handle_message(state.system.get(message.dest), message)
         return state.deliver(message, result.state, result.sends)
     if is_fault_event(event):
-        # Crash/restart (docs/FAULTS.md): Protocol.execute applies the
-        # durability contract; the network is untouched either way — the
-        # crashing node's in-flight messages stay available for delivery.
+        # Fault events (docs/FAULTS.md): Protocol.execute applies the
+        # durability/omission contracts.  Crash and restart never send;
+        # drop hooks and duplicate redeliveries may, so the handler's
+        # sends are forwarded like any local step.
         result = protocol.execute(state.system.get(event.node), event)
-        return state.run_internal(event.node, result.state, ())
+        return state.run_internal(event.node, result.state, result.sends)
     result = protocol.handle_action(state.system.get(event.node), event.action)
     if result.is_noop(state.system.get(event.node)):
         return None

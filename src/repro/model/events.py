@@ -9,13 +9,21 @@ LMC's predecessor pointers store event *hashes* alongside the hashes of the
 messages each event generated (§4.2).
 
 Beyond the paper's event vocabulary, the LMC fault scheduler
-(docs/FAULTS.md) schedules two *fault* events: :class:`CrashEvent` stops a
+(docs/FAULTS.md) schedules four *fault* events: :class:`CrashEvent` stops a
 node (volatile state is lost, the durable fragment survives) and
-:class:`RestartEvent` boots it again from its durable fragment.  Fault
-events touch no network — crucially, under the monotonic ``I+`` a crashed
-node's in-flight messages stay available, which is exactly what makes crash
-faults cheap to add to LMC — and behave as local events during soundness
-replay (always enabled, consuming and generating nothing).
+:class:`RestartEvent` boots it again from its durable fragment.  Crash and
+restart events touch no network — crucially, under the monotonic ``I+`` a
+crashed node's in-flight messages stay available, which is exactly what
+makes crash faults cheap to add to LMC — and behave as local events during
+soundness replay (always enabled, consuming and generating nothing).
+:class:`DropEvent` marks one stored copy of a message as never-deliverable
+to its destination (the destination may run an optional ``handle_drop``
+timeout hook); it *consumes* the message hash during soundness replay, so a
+dropped copy can never also be delivered along the same witness.
+:class:`DuplicateEvent` is the redelivery of a fault-minted duplicate copy
+admitted through the network's ``duplicate_limit`` path; the copy has no
+generating handler of its own, so the event replays as a local step
+(consuming nothing) whose sends are the handler's sends.
 """
 
 from __future__ import annotations
@@ -123,14 +131,74 @@ class RestartEvent:
         return f"restart node {self.restarted_node}"
 
 
-Event = Union[DeliveryEvent, InternalEvent, CrashEvent, RestartEvent]
+@dataclass(frozen=True, order=True)
+class DropEvent:
+    """Loss of ``message`` before delivery to its destination (a fault event).
+
+    Executes on the destination node: the protocol's optional
+    ``handle_drop`` hook (docs/FAULTS.md) models the timeout/negative-
+    acknowledgement path a real implementation takes when an expected
+    message never arrives.  During soundness replay the event *consumes*
+    the message hash — the message must have been generated before it can
+    be lost, and consuming the per-destination copy excludes
+    drop-then-deliver of the same copy along one witness.
+    """
+
+    message: Message
+
+    @property
+    def node(self) -> NodeId:
+        """The node on which the event executes (the message destination)."""
+        return self.message.dest
+
+    @property
+    def is_network(self) -> bool:
+        """True: a drop consumes a network message (without delivering it)."""
+        return True
+
+    def describe(self) -> str:
+        """Human-readable rendering used in logs and counterexamples."""
+        return f"drop {self.message.describe()}"
+
+
+@dataclass(frozen=True, order=True)
+class DuplicateEvent:
+    """Redelivery of a fault-minted duplicate of ``message`` (a fault event).
+
+    The duplicate copy was admitted through the monotonic network's
+    ``duplicate_limit`` path and runs the ordinary message handler a second
+    time.  The copy has no generating handler of its own, so during
+    soundness replay the event behaves as a local step: it consumes nothing
+    and generates the handler's sends.
+    """
+
+    message: Message
+
+    @property
+    def node(self) -> NodeId:
+        """The node on which the event executes (the message destination)."""
+        return self.message.dest
+
+    @property
+    def is_network(self) -> bool:
+        """False: the duplicate copy is fault-minted, not a generated send."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable rendering used in logs and counterexamples."""
+        return f"redeliver {self.message.describe()}"
+
+
+Event = Union[
+    DeliveryEvent, InternalEvent, CrashEvent, RestartEvent, DropEvent, DuplicateEvent
+]
 
 #: The fault-event types the LMC fault scheduler mints (docs/FAULTS.md).
-FAULT_EVENT_TYPES = (CrashEvent, RestartEvent)
+FAULT_EVENT_TYPES = (CrashEvent, RestartEvent, DropEvent, DuplicateEvent)
 
 
 def is_fault_event(event: Event) -> bool:
-    """True for the crash/restart events of the fault scheduler."""
+    """True for the crash/restart/drop/duplicate events of the fault scheduler."""
     return isinstance(event, FAULT_EVENT_TYPES)
 
 

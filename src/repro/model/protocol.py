@@ -21,7 +21,15 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Tuple
 
-from repro.model.events import CrashEvent, DeliveryEvent, Event, InternalEvent, RestartEvent
+from repro.model.events import (
+    CrashEvent,
+    DeliveryEvent,
+    DropEvent,
+    DuplicateEvent,
+    Event,
+    InternalEvent,
+    RestartEvent,
+)
 from repro.model.system_state import SystemState
 from repro.model.types import Action, CrashedState, HandlerResult, Message, NodeId
 
@@ -103,6 +111,16 @@ class Protocol(ABC):
                     f"restart of node {event.node} which is not crashed: {state!r}"
                 )
             return HandlerResult(restart_state(self, event.node, state.durable))
+        if isinstance(event, DropEvent):
+            from repro.protocols.common import drop_result
+
+            result = drop_result(self, state, event.message)
+            # Drop-oblivious protocols treat the loss as a no-op; the LMC
+            # scheduler never mints drops for them, but replay must still
+            # dispatch the event.
+            return HandlerResult(state) if result is None else result
+        if isinstance(event, DuplicateEvent):
+            return self.handle_message(state, event.message)
         raise ValueError(f"unknown event type: {event!r}")
 
     def num_nodes(self) -> int:

@@ -29,28 +29,37 @@ class LossyNetwork:
         self,
         rng: random.Random,
         drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
         min_latency: float = 0.01,
         max_latency: float = 0.1,
     ):
         if not 0.0 <= drop_probability <= 1.0:
             raise ValueError("drop_probability must be within [0, 1]")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be within [0, 1]")
         if min_latency < 0 or max_latency < min_latency:
             raise ValueError("latencies must satisfy 0 <= min <= max")
         self._rng = rng
         self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
         self.min_latency = min_latency
         self.max_latency = max_latency
         self._queue: List[Tuple[float, int, Message]] = []
         self._tiebreak = itertools.count()
         self.sent = 0
         self.dropped = 0
+        self.duplicated = 0
         self.delivered = 0
 
     def send(self, message: Message, now: float) -> Optional[float]:
         """Send ``message`` at simulated time ``now``.
 
-        Returns the scheduled delivery time, or ``None`` when the message was
-        dropped.  Loopback messages are never dropped.
+        Returns the scheduled delivery time of the first copy, or ``None``
+        when the message was dropped.  Loopback messages are never dropped
+        or duplicated.  A non-loopback message that survives the drop roll
+        may additionally be duplicated: a second copy enters the queue with
+        its own independent latency, so the copies can arrive in either
+        order.
         """
         self.sent += 1
         is_loopback = message.src == message.dest
@@ -60,6 +69,10 @@ class LossyNetwork:
         latency = self._rng.uniform(self.min_latency, self.max_latency)
         deliver_at = now + latency
         heapq.heappush(self._queue, (deliver_at, next(self._tiebreak), message))
+        if not is_loopback and self._rng.random() < self.duplicate_probability:
+            self.duplicated += 1
+            copy_at = now + self._rng.uniform(self.min_latency, self.max_latency)
+            heapq.heappush(self._queue, (copy_at, next(self._tiebreak), message))
         return deliver_at
 
     def next_delivery_time(self) -> Optional[float]:
@@ -83,5 +96,6 @@ class LossyNetwork:
     def __repr__(self) -> str:
         return (
             f"LossyNetwork(sent={self.sent}, dropped={self.dropped}, "
-            f"delivered={self.delivered}, pending={self.pending()})"
+            f"duplicated={self.duplicated}, delivered={self.delivered}, "
+            f"pending={self.pending()})"
         )

@@ -20,7 +20,15 @@ import json
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.fsio import atomic_write_json
-from repro.model.events import CrashEvent, DeliveryEvent, Event, InternalEvent, RestartEvent
+from repro.model.events import (
+    CrashEvent,
+    DeliveryEvent,
+    DropEvent,
+    DuplicateEvent,
+    Event,
+    InternalEvent,
+    RestartEvent,
+)
 from repro.model.system_state import SystemState
 from repro.model.types import Action, Message
 from repro.reports import BugReport
@@ -242,6 +250,22 @@ def encode_event(event: Event) -> Dict[str, Any]:
         return {"kind": "crash", "node": event.node}
     if isinstance(event, RestartEvent):
         return {"kind": "restart", "node": event.node}
+    if isinstance(event, DropEvent):
+        message = event.message
+        return {
+            "kind": "drop",
+            "dest": message.dest,
+            "src": message.src,
+            "payload": encode_value(message.payload),
+        }
+    if isinstance(event, DuplicateEvent):
+        message = event.message
+        return {
+            "kind": "duplicate",
+            "dest": message.dest,
+            "src": message.src,
+            "payload": encode_value(message.payload),
+        }
     raise TypeError(f"unknown event type {type(event).__name__}")
 
 
@@ -267,6 +291,17 @@ def decode_event(encoded: Dict[str, Any], registry: ClassRegistry) -> Event:
         return CrashEvent(encoded["node"])
     if encoded["kind"] == "restart":
         return RestartEvent(encoded["node"])
+    if encoded["kind"] in ("drop", "duplicate"):
+        message = Message(
+            dest=encoded["dest"],
+            src=encoded["src"],
+            payload=decode_value(encoded["payload"], registry),
+        )
+        return (
+            DropEvent(message)
+            if encoded["kind"] == "drop"
+            else DuplicateEvent(message)
+        )
     raise ValueError(f"unknown event kind {encoded.get('kind')!r}")
 
 

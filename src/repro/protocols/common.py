@@ -18,6 +18,17 @@ methods and default to the *all-volatile* semantics — nothing survives a
 crash and a restarted node boots from its initial state — so existing
 protocols need no change to run under fault schedules.
 
+The **omission contract** works the same way.  A protocol whose nodes
+react to a message that never arrives (timeouts, presumed-abort rules)
+declares that reaction with one optional method::
+
+    def handle_drop(self, state, message):  # -> HandlerResult
+
+:func:`drop_result` dispatches to it; the default returns ``None``,
+meaning the destination is *drop-oblivious* — losing a message then
+reaches no node state a slower network could not already reach under the
+monotonic abstraction, so the scheduler skips the drop entirely.
+
 The **coverage contract** (docs/OBSERVABILITY.md "Live operations") works
 the same way: a protocol may declare its full handler universe with two
 optional methods::
@@ -81,6 +92,24 @@ def restart_state(protocol: Any, node: NodeId, durable: Any) -> Any:
     if hook is None:
         return protocol.initial_state(node)
     return hook(node, durable)
+
+
+def drop_result(protocol: Any, state: Any, message: Any) -> Optional[Any]:
+    """How ``message.dest`` reacts to never receiving ``message``.
+
+    Dispatches to the protocol's optional ``handle_drop(state, message)``
+    method — the timeout/negative-acknowledgement path a real
+    implementation takes when an expected message is lost.  The hook has
+    the same purity/totality contract as ``handle_message`` and may raise
+    :class:`~repro.model.types.LocalAssertionError`.  ``None`` (no hook)
+    means the protocol is drop-oblivious and the fault scheduler mints no
+    :class:`~repro.model.events.DropEvent` for it: under the monotonic
+    network a silent omission adds no reachable states.
+    """
+    hook = getattr(protocol, "handle_drop", None)
+    if hook is None:
+        return None
+    return hook(state, message)
 
 
 def declared_message_types(protocol: Any) -> Optional[Tuple[str, ...]]:

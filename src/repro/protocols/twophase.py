@@ -208,6 +208,34 @@ class EagerCommitCoordinator(TwoPhaseCommit):
         return None
 
 
+class TimeoutTwoPhaseCommit(TwoPhaseCommit):
+    """2PC with presumed-abort timeouts: a lost decision aborts the waiter.
+
+    Realistic 2PC participants do not block forever on the decision — a
+    participant that voted and never hears the outcome times out and
+    presumes abort.  Declaring that reaction as a ``handle_drop`` omission
+    hook (docs/FAULTS.md) makes the checker explore loss of each decision
+    message: with unanimous yes votes the coordinator durably commits, the
+    timed-out participant aborts, and :class:`Atomicity` is violated — a
+    bug reachable *only* under a drop or partition schedule, never in
+    loss-free exploration.
+    """
+
+    name = "two-phase-commit-timeout"
+
+    def handle_drop(
+        self, state: TwoPhaseNodeState, message: Message
+    ) -> HandlerResult:
+        payload = message.payload
+        if (
+            isinstance(payload, Decision)
+            and state.voted
+            and state.decided is None
+        ):
+            return HandlerResult(replace(state, decided=False))
+        return HandlerResult(state)
+
+
 class Atomicity(DecomposableInvariant):
     """No node commits while another aborts."""
 

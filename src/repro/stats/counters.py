@@ -60,6 +60,12 @@ class ExplorationStats:
     fault_crashes: int = 0
     #: Restart events executed by the fault scheduler.
     fault_restarts: int = 0
+    #: Drop events executed by the fault scheduler (docs/FAULTS.md).
+    fault_drops: int = 0
+    #: Duplicate redeliveries executed by the fault scheduler.
+    fault_duplicates: int = 0
+    #: Deliveries blocked (message × round) by an active partition window.
+    partition_blocks: int = 0
     #: Exploration rounds whose frontier was dispatched to the worker pool
     #: (docs/PERFORMANCE.md "Parallel frontier exploration").
     explore_rounds_parallel: int = 0
@@ -105,6 +111,9 @@ class ExplorationStats:
             "rejected_cache_evictions": self.rejected_cache_evictions,
             "fault_crashes": self.fault_crashes,
             "fault_restarts": self.fault_restarts,
+            "fault_drops": self.fault_drops,
+            "fault_duplicates": self.fault_duplicates,
+            "partition_blocks": self.partition_blocks,
             "explore_rounds_parallel": self.explore_rounds_parallel,
             "explore_shards": self.explore_shards,
             "explore_merge_conflicts_suppressed": (
@@ -135,6 +144,9 @@ class ExplorationStats:
         self.rejected_cache_evictions += other.rejected_cache_evictions
         self.fault_crashes += other.fault_crashes
         self.fault_restarts += other.fault_restarts
+        self.fault_drops += other.fault_drops
+        self.fault_duplicates += other.fault_duplicates
+        self.partition_blocks += other.partition_blocks
         self.explore_rounds_parallel += other.explore_rounds_parallel
         self.explore_shards += other.explore_shards
         self.explore_merge_conflicts_suppressed += (

@@ -13,7 +13,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.records import LocalStateSpace, NodeStateRecord
-from repro.model.events import DeliveryEvent, InternalEvent
+from repro.model.events import (
+    DeliveryEvent,
+    DropEvent,
+    DuplicateEvent,
+    InternalEvent,
+)
 from repro.reports import BugReport
 
 
@@ -108,6 +113,12 @@ def witness_sequence_diagram(bug: BugReport) -> str:
                 label = f"{index}. {event.action.name}"
             elif isinstance(event, DeliveryEvent):
                 label = f"{index}. recv {type(event.message.payload).__name__}"
+            elif isinstance(event, DropEvent):
+                label = f"{index}. drop {type(event.message.payload).__name__}"
+            elif isinstance(event, DuplicateEvent):
+                label = (
+                    f"{index}. redeliver {type(event.message.payload).__name__}"
+                )
             else:
                 # Fault events (docs/FAULTS.md): crash/restart markers.
                 label = f"{index}. {event.describe()}"

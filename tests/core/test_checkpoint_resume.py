@@ -356,6 +356,51 @@ class TestRefusals:
         with pytest.raises(CheckpointMismatch, match="fingerprint"):
             _checker("opt_faults", 6).resume(payload)
 
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"drop_faults": True},
+            {"drop_faults": True, "max_drops": 2},
+            {"duplicate_faults": True, "duplicate_limit": 1},
+            {"duplicate_limit": 1},
+            {"partition_schedules": ((1, 2, (0,), (1,)),)},
+            {"partition_schedules": ((1, None, (0,), (1, 2)),)},
+        ],
+        ids=[
+            "drop-faults",
+            "max-drops",
+            "duplicate-faults",
+            "duplicate-limit",
+            "partition-window",
+            "partition-permanent",
+        ],
+    )
+    def test_resume_and_extend_refuse_differing_fault_knobs(
+        self, overrides, tmp_path
+    ):
+        """Every omission-fault knob is fingerprinted: a checkpoint written
+        under one fault configuration must refuse to resume — or extend —
+        under any other, instead of silently exploring a different space."""
+        mismatched = LocalModelChecker(
+            PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),)),
+            PaxosAgreement(0),
+            SearchBudget(max_depth=6),
+            LMCConfig.optimized(**overrides),
+        )
+        payload = self._interrupted_checkpoint(tmp_path, depth=6)
+        with pytest.raises(CheckpointMismatch, match="fingerprint"):
+            mismatched.resume(payload)
+
+        completed = self._completed_checkpoint(tmp_path, depth=4)
+        extender = LocalModelChecker(
+            PaxosProtocol(num_nodes=3, proposals=((0, 0, "v0"),)),
+            PaxosAgreement(0),
+            SearchBudget(max_depth=8),
+            LMCConfig.optimized(**overrides),
+        )
+        with pytest.raises(CheckpointMismatch, match="fingerprint"):
+            extender.extend_depth(completed)
+
     def test_resume_refuses_protocol_mismatch(self, tmp_path):
         payload = self._interrupted_checkpoint(tmp_path, depth=6)
         other = LocalModelChecker(

@@ -177,6 +177,50 @@ class TestLossyNetwork:
         assert run(7) == run(7)
         assert run(7) != run(8)
 
+    def test_duplicate_probability_one_duplicates_everything_except_loopback(self):
+        net = LossyNetwork(random.Random(0), duplicate_probability=1.0)
+        net.send(msg(dest=1, src=0), now=0.0)
+        assert net.duplicated == 1
+        assert net.pending() == 2
+        net.send(msg(dest=2, src=2), now=0.0)  # loopback: never duplicated
+        assert net.duplicated == 1
+        assert net.pending() == 3
+
+    def test_duplicate_copies_deliver_independently(self):
+        net = LossyNetwork(random.Random(3), duplicate_probability=1.0)
+        net.send(msg(payload="x"), now=0.0)
+        first = net.pop_due(10.0)
+        second = net.pop_due(10.0)
+        assert first == second == msg(payload="x")
+        assert net.delivered == 2
+        assert net.pending() == 0
+
+    def test_statistical_duplicate_rate(self):
+        net = LossyNetwork(random.Random(42), duplicate_probability=0.3)
+        for i in range(1000):
+            net.send(msg(payload=str(i)), now=0.0)
+        assert 230 <= net.duplicated <= 370
+
+    def test_duplication_is_seed_reproducible(self):
+        def run(seed):
+            net = LossyNetwork(
+                random.Random(seed),
+                drop_probability=0.2,
+                duplicate_probability=0.4,
+            )
+            for i in range(100):
+                net.send(msg(payload=str(i)), now=0.0)
+            return (net.dropped, net.duplicated, net.pending())
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_invalid_duplicate_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LossyNetwork(random.Random(0), duplicate_probability=-0.1)
+        with pytest.raises(ValueError):
+            LossyNetwork(random.Random(0), duplicate_probability=1.5)
+
 
 # -- fifo network --------------------------------------------------------------
 

@@ -196,6 +196,23 @@ def _build_checker(workload: str, config_overrides: Dict[str, Any]):
             None,
         )
 
+    if workload == "twophase_drops":
+        # Omission-fault scheduling on (docs/FAULTS.md): presumed-abort 2PC
+        # whose atomicity invariant only breaks when the checker drops the
+        # coordinator's Decision message.  Bug-found gated in main() — this
+        # leg exists to prove the drop sweep reaches real violations, and
+        # count-equality gated across modes like every workload.
+        from repro.protocols.twophase import Atomicity, TimeoutTwoPhaseCommit
+
+        protocol = TimeoutTwoPhaseCommit(3)
+        config = LMCConfig.optimized(drop_faults=True, **config_overrides)
+        return (
+            LocalModelChecker(
+                protocol, Atomicity(), SearchBudget.unbounded(), config
+            ),
+            None,
+        )
+
     if workload == "s55_snapshot":
         from repro.protocols.paxos import PaxosAgreement
         from repro.protocols.paxos.scenarios import (
@@ -306,6 +323,14 @@ def _run_child(workload: str, mode: str) -> None:
             "fault_events_enabled": checker.config.fault_events_enabled,
             "max_crashes_per_node": checker.config.max_crashes_per_node,
             "max_total_crashes": checker.config.max_total_crashes,
+            "drop_faults": checker.config.drop_faults,
+            "max_drops": checker.config.max_drops,
+            "duplicate_faults": checker.config.duplicate_faults,
+            "duplicate_limit": checker.config.duplicate_limit,
+            "partition_schedules": [
+                [start, end, list(srcs), list(dests)]
+                for start, end, srcs, dests in checker.config.partition_schedules
+            ],
             "explore_workers": checker.config.explore_workers,
             "symmetry_reduction": checker.config.symmetry_reduction,
             "por_pruning": checker.config.por_pruning,
@@ -649,10 +674,19 @@ def verify_counts(results: Dict[str, Any], baseline_path: str) -> None:
         if base is None:
             continue  # baseline predates this workload; not a regression
         for field in ("counts", "completed", "bugs"):
-            if entry[field] != base[field]:
+            current = entry[field]
+            if field == "counts":
+                # A counter the baseline predates is not drift as long as
+                # it is zero here — the schema grew, the work did not.
+                current = {
+                    key: value
+                    for key, value in current.items()
+                    if key in base[field] or value != 0
+                }
+            if current != base[field]:
                 errors.append(
                     f"{workload}: {field} regressed vs {baseline_path}:\n"
-                    f"  baseline: {base[field]}\n  current:  {entry[field]}"
+                    f"  baseline: {base[field]}\n  current:  {current}"
                 )
     if errors:
         raise SystemExit("baseline regression:\n" + "\n".join(errors))
@@ -716,6 +750,7 @@ def main() -> None:
             "fig10_d6",
             "s55_snapshot",
             "paxos_faults",
+            "twophase_drops",
             "paxos_sym",
         ]
         repeat = max(1, min(args.repeat, 2))
@@ -727,6 +762,7 @@ def main() -> None:
             "s55_snapshot",
             "s56_onepaxos",
             "paxos_faults",
+            "twophase_drops",
             "paxos2_d6",
             "paxos_sym",
         ]
@@ -780,6 +816,17 @@ def main() -> None:
                 "1.5x target (depth extension re-explored paid-for state; "
                 "see docs/CHECKPOINTS.md)"
             )
+
+    # The drop-fault gate is a bug-found assertion, hence deterministic:
+    # the twophase_drops leg exists precisely because its atomicity bug is
+    # reachable only through the omission-fault sweep (docs/FAULTS.md), so
+    # an empty bug list means the drop machinery silently stopped exploring.
+    drops_entry = results.get("twophase_drops")
+    if drops_entry is not None and not drops_entry["bugs"]:
+        raise SystemExit(
+            "twophase_drops found no atomicity violation (the drop-fault "
+            "sweep regressed; see docs/FAULTS.md)"
+        )
 
     # The reduction gate is count-based, hence deterministic — unlike the
     # wall-clock speedup it is safe to assert even on noisy CI runners.
